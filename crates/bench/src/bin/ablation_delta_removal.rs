@@ -1,0 +1,73 @@
+//! Ablation: Observed vs Predicted solidity for QSel-Est's ΔD removal
+//! (§4.2 / Algorithm 4 line 29; DESIGN.md §7 deviation 3).
+//!
+//! `Observed` removes `q(D)` only when the page proves the query solid
+//! (`|page| < k`); `Predicted` follows the paper's pseudocode and trusts
+//! the sample-based type prediction. Run on a 20%-ΔD scenario, where the
+//! removal policy matters most.
+
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_bench::table::{print_curves, write_csv};
+use smartcrawl_core::DeltaRemoval;
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_match::Matcher;
+
+fn main() {
+    let scale = scale_from_args();
+    let budget = scaled(2_000, scale);
+
+    // Exact-matching world with a large ΔD: the observed witness prunes
+    // true ΔD records sooner and is sound, so it should win or tie.
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = scaled(10_000, scale);
+    cfg.delta_d = cfg.local_size / 5;
+    let scenario = Scenario::build(cfg);
+    let cks = checkpoints(budget);
+    let mut curves = Vec::new();
+    for (label, policy) in
+        [("Est-B/observed", DeltaRemoval::Observed), ("Est-B/predicted", DeltaRemoval::Predicted)]
+    {
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = cks.clone();
+        spec.delta_removal = policy;
+        let mut curve = run_approach(&scenario, &spec);
+        curve.label = label.to_owned();
+        curves.push(curve);
+    }
+    print_curves(
+        "Ablation A: ΔD-removal policy, exact matching, |ΔD| = 20% of |D|",
+        &curves,
+    );
+    write_csv("results/ablation_delta_removal.csv", &curves).expect("write csv");
+
+    // Drifted fuzzy-matching world (Yelp-style): the observed witness
+    // wrongly prunes records whose drifted twins fail the similarity
+    // join; the predicted policy leaves them retryable.
+    let mut cfg = ScenarioConfig::yelp_like();
+    cfg.hidden_size = scaled(60_000, scale);
+    cfg.local_size = scaled(3_000, scale);
+    cfg.delta_d = scaled(150, scale);
+    let scenario = Scenario::build(cfg);
+    let budget2 = scaled(3_000, scale);
+    let cks = checkpoints(budget2);
+    let mut curves = Vec::new();
+    for (label, policy) in
+        [("Est-B/observed", DeltaRemoval::Observed), ("Est-B/predicted", DeltaRemoval::Predicted)]
+    {
+        let mut spec = RunSpec::new(Approach::SmartB, budget2);
+        spec.checkpoints = cks.clone();
+        spec.delta_removal = policy;
+        spec.matcher = Matcher::paper_fuzzy();
+        spec.theta = 0.002;
+        let mut curve = run_approach(&scenario, &spec);
+        curve.label = label.to_owned();
+        curves.push(curve);
+    }
+    print_curves(
+        "Ablation B: ΔD-removal policy, drifted Yelp-style world (Jaccard ≥ 0.9)",
+        &curves,
+    );
+    write_csv("results/ablation_delta_removal_drift.csv", &curves).expect("write csv");
+}

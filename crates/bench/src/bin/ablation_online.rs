@@ -1,0 +1,131 @@
+//! Ablation: runtime sampling (paper §9, future work #1).
+//!
+//! The paper's estimators need a hidden-database sample whose construction
+//! itself costs queries (6 483 for the Yelp sample). This experiment
+//! charges that cost honestly and compares, at equal *total* budget:
+//!
+//! * **offline/free** — SmartCrawl-B with a free oracle sample (the
+//!   paper's accounting);
+//! * **offline/charged** — the sample is built first through the
+//!   interface (pool sampler), and only the remaining budget crawls;
+//! * **online** — no upfront sample; sampling rounds are interleaved
+//!   (ε = 20% of queries), the estimator sharpening as the sample grows;
+//! * **no sample** — QSel-Simple.
+
+use smartcrawl_bench::eval::coverage_curve;
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_bench::table::{print_curves, write_csv};
+use smartcrawl_core::crawl::{online_smart_crawl, OnlineCrawlConfig};
+use smartcrawl_core::{LocalDb, TextContext};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_hidden::Metered;
+use smartcrawl_sampler::{pool_sample, PoolSamplerConfig};
+use smartcrawl_text::Tokenizer;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = scaled(10_000, scale);
+    let scenario = Scenario::build(cfg);
+    let budget = scaled(2_000, scale);
+    let cks = checkpoints(budget);
+    let mut curves = Vec::new();
+
+    // Offline sample, cost ignored (paper accounting).
+    {
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = cks.clone();
+        let mut curve = run_approach(&scenario, &spec);
+        curve.label = "offline/free".to_owned();
+        curves.push(curve);
+    }
+
+    // Offline sample, cost charged against the same budget.
+    {
+        let tokenizer = Tokenizer::default();
+        let mut words: Vec<String> = scenario
+            .local
+            .iter()
+            .flat_map(|r| tokenizer.raw_tokens(&r.fields().join(" ")).collect::<Vec<_>>())
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+        let sample_budget = budget / 4;
+        let mut iface = Metered::new(&scenario.hidden, Some(sample_budget));
+        let out = pool_sample(
+            &mut iface,
+            &words,
+            &PoolSamplerConfig {
+                target_size: scaled(500, scale),
+                max_queries: sample_budget,
+                seed: 5,
+            },
+        );
+        let spent = out.queries_used;
+        let mut spec = RunSpec::new(Approach::SmartB, budget.saturating_sub(spent));
+        spec.checkpoints = checkpoints(budget.saturating_sub(spent).max(1));
+        spec.sample_override = Some(out.sample);
+        let mut curve = run_approach(&scenario, &spec);
+        // Shift the curve by the sampling cost so the x-axis is total
+        // budget: pad the front with zero coverage.
+        let mut budgets = vec![spent];
+        budgets.extend(curve.budgets.iter().map(|b| b + spent));
+        let mut covered = vec![0usize];
+        covered.extend(curve.covered.iter().copied());
+        curve.budgets = budgets;
+        curve.covered = covered;
+        curve.label = format!("offline/charged({spent}q)");
+        // Re-sample onto the shared checkpoints for printing.
+        let aligned: Vec<usize> = cks
+            .iter()
+            .map(|&c| {
+                curve
+                    .budgets
+                    .iter()
+                    .zip(&curve.covered)
+                    .take_while(|&(&b, _)| b <= c)
+                    .map(|(_, &cov)| cov)
+                    .last()
+                    .unwrap_or(0)
+            })
+            .collect();
+        curves.push(smartcrawl_bench::eval::Curve {
+            label: curve.label,
+            budgets: cks.clone(),
+            covered: aligned,
+        });
+    }
+
+    // Online (runtime) sampling.
+    {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+        let mut iface = Metered::new(&scenario.hidden, Some(budget));
+        let report = online_smart_crawl(
+            &local,
+            &mut iface,
+            &OnlineCrawlConfig { budget, seed: 5, ..Default::default() },
+            ctx,
+        );
+        let mut curve = coverage_curve("online(e=0.2)", &report, &scenario.truth, &cks);
+        curve.label = "online(e=0.2)".to_owned();
+        curves.push(curve);
+    }
+
+    // No sample at all: QSel-Simple.
+    {
+        let mut spec = RunSpec::new(Approach::Simple, budget);
+        spec.checkpoints = cks.clone();
+        let mut curve = run_approach(&scenario, &spec);
+        curve.label = "no sample".to_owned();
+        curves.push(curve);
+    }
+
+    print_curves(
+        "Ablation: runtime sampling — equal total budgets (sampling cost charged)",
+        &curves,
+    );
+    write_csv("results/ablation_online.csv", &curves).expect("write csv");
+}

@@ -1,0 +1,46 @@
+//! Ablation: query-pool parameters (§3.1; DESIGN.md §7 deviation 2).
+//!
+//! Sweeps the frequent-itemset length cap (`max_len`) and the support
+//! threshold `t`, reporting pool size, generation time, and the coverage
+//! SmartCrawl-B reaches with the paper's default budget.
+
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_core::{LocalDb, PoolConfig, QueryPool, TextContext};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = scaled(10_000, scale);
+    let scenario = Scenario::build(cfg);
+    let budget = scaled(2_000, scale);
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "pool config", "pool size", "gen time(ms)", "coverage"
+    );
+    for (min_support, max_len) in [(2usize, 1usize), (2, 2), (2, 3), (3, 2), (5, 2)] {
+        let pool_cfg = PoolConfig { min_support, max_len, seed: 0x5A17 };
+        // Measure pool size/time separately from the crawl.
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+        let t0 = Instant::now();
+        let pool = QueryPool::generate(&local, &pool_cfg);
+        let gen_ms = t0.elapsed().as_millis();
+
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = checkpoints(budget);
+        spec.pool = pool_cfg;
+        let curve = run_approach(&scenario, &spec);
+        println!(
+            "{:<24} {:>12} {:>12} {:>12}",
+            format!("t={min_support}, max_len={max_len}"),
+            pool.len(),
+            gen_ms,
+            curve.final_coverage()
+        );
+    }
+}

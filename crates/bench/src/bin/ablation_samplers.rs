@@ -1,0 +1,118 @@
+//! Ablation: deep-web sampler designs (paper §5.1 treats sampling as
+//! orthogonal; this measures how much the choice actually matters).
+//!
+//! Compares, on the Yelp-style disjunctive world:
+//! * the **pool** rejection sampler (Bar-Yossef–Gurevich / Zhang-style,
+//!   singles + within-record pairs);
+//! * the **random-walk** specialization sampler (Dasgupta-style);
+//! * the **Bernoulli oracle** (the simulated-experiment assumption).
+//!
+//! Reported per sampler: sample size, queries spent, θ̂ vs realized θ, and
+//! the downstream SmartCrawl-B recall when crawling with that sample.
+
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_match::Matcher;
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_hidden::{Metered, SearchInterface};
+use smartcrawl_sampler::{
+    bernoulli_sample, pool_sample_queries, random_walk_sample, HiddenSample, PoolSamplerConfig,
+    RandomWalkConfig,
+};
+use smartcrawl_text::Tokenizer;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut cfg = ScenarioConfig::yelp_like();
+    cfg.hidden_size = scaled(60_000, scale);
+    cfg.local_size = scaled(3_000, scale);
+    cfg.delta_d = scaled(150, scale);
+    let scenario = Scenario::build(cfg);
+    let budget = scenario.config.local_size;
+    let target = scaled(500, scale);
+    let query_cap = scaled(25_000, scale.max(0.5));
+
+    // Shared keyword material from the local snapshot.
+    let tokenizer = Tokenizer::default();
+    let mut singles: Vec<String> = Vec::new();
+    let mut pairs: Vec<Vec<String>> = Vec::new();
+    for r in &scenario.local {
+        let mut toks: Vec<String> = tokenizer.raw_tokens(&r.fields().join(" ")).collect();
+        toks.sort_unstable();
+        toks.dedup();
+        for i in 0..toks.len() {
+            singles.push(toks[i].clone());
+            for j in (i + 1)..toks.len() {
+                pairs.push(vec![toks[i].clone(), toks[j].clone()]);
+            }
+        }
+    }
+    singles.sort_unstable();
+    singles.dedup();
+    let mut pool: Vec<Vec<String>> = pairs;
+    pool.extend(singles.iter().map(|w| vec![w.clone()]));
+    pool.sort_unstable();
+    pool.dedup();
+
+    let true_theta = |n: usize| n as f64 / scenario.hidden.len() as f64;
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "sampler", "|Hs|", "queries", "theta_hat", "theta_true", "recall"
+    );
+
+    let evaluate = |name: &str, sample: HiddenSample, queries: usize| {
+        let theta_hat = sample.theta;
+        let n = sample.len();
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = checkpoints(budget);
+        spec.matcher = Matcher::Jaccard { threshold: 0.75 };
+        spec.sample_override = Some(sample);
+        let curve = run_approach(&scenario, &spec);
+        let recall =
+            curve.final_coverage() as f64 / scenario.truth.matchable_count() as f64;
+        println!(
+            "{:<14} {:>8} {:>10} {:>10.4} {:>10.4} {:>10.3}",
+            name,
+            n,
+            queries,
+            theta_hat,
+            true_theta(n),
+            recall
+        );
+    };
+
+    // Pool sampler.
+    {
+        let mut iface = Metered::new(&scenario.hidden, None);
+        let out = pool_sample_queries(
+            &mut iface,
+            &pool,
+            &PoolSamplerConfig { target_size: target, max_queries: query_cap, seed: 7 },
+        );
+        evaluate("pool", out.sample, out.queries_used);
+    }
+
+    // Random-walk sampler.
+    {
+        let mut iface = Metered::new(&scenario.hidden, None);
+        let out = random_walk_sample(
+            &mut iface,
+            &singles,
+            &RandomWalkConfig {
+                target_size: target,
+                max_queries: query_cap,
+                max_depth: 5,
+                acceptance_scale: 1e-4,
+                seed: 7,
+            },
+        );
+        evaluate("random-walk", out.sample, out.queries_used);
+        let _ = iface.queries_issued();
+    }
+
+    // Bernoulli oracle at the paper's 0.2%.
+    {
+        let sample = bernoulli_sample(&scenario.hidden, 0.002, 7);
+        evaluate("oracle-0.2%", sample, 0);
+    }
+}

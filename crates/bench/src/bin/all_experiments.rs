@@ -1,0 +1,17 @@
+//! Runs every figure experiment in sequence (Figures 4–9). `--quick` or
+//! `--scale X` applies to all of them.
+
+use smartcrawl_bench::experiments::{self, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running all experiments at scale {scale}");
+    let t0 = std::time::Instant::now();
+    experiments::fig4::run(scale);
+    experiments::fig5::run(scale);
+    experiments::fig6::run(scale);
+    experiments::fig7::run(scale);
+    experiments::fig8::run(scale);
+    experiments::fig9::run(scale);
+    eprintln!("all experiments finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 of the paper. `--quick` for a 0.1-scale run,
+//! `--scale X` for an arbitrary factor.
+
+fn main() {
+    let scale = smartcrawl_bench::experiments::scale_from_args();
+    eprintln!("running figure 7 at scale {scale}");
+    smartcrawl_bench::experiments::fig7::run(scale);
+}

@@ -1,0 +1,97 @@
+//! Regenerates Table 2: true benefits vs biased estimates on the running
+//! example (k = 2, θ = 1/3). The instance is the consistent reconstruction
+//! described in `smartcrawl-core/src/fixture.rs`; the estimator formulas
+//! are the paper's (Table 1).
+
+use smartcrawl_core::{Estimator, EstimatorKind, LocalDb, TextContext};
+use smartcrawl_hidden::{HiddenDbBuilder, HiddenRecord};
+use smartcrawl_text::Record;
+
+fn main() {
+    let k = 2usize;
+    let theta = 1.0 / 3.0;
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(
+        vec![
+            Record::from(["Thai Noodle House"]),
+            Record::from(["Jade Noodle House"]),
+            Record::from(["Thai House"]),
+            Record::from(["Thai Noodle Express"]),
+        ],
+        &mut ctx,
+    );
+    let names = [
+        "Thai Noodle House",
+        "Jade Noodle House",
+        "Thai House",
+        "Thai Noodle Express",
+        "Steak House",
+        "Ramen Bar",
+        "Noodle World",
+        "Thai Palace",
+        "House of Curry",
+    ];
+    let hidden = HiddenDbBuilder::new()
+        .k(k)
+        .records(names.iter().enumerate().map(|(i, &n)| {
+            HiddenRecord::new(i as u64, Record::from([n]), vec![], (9 - i) as f64)
+        }))
+        .build();
+    // Figure 1(b) sample: Thai House, Steak House, Ramen Bar.
+    let sample_texts = ["thai house", "steak house", "ramen bar"];
+
+    let est_b = Estimator::new(EstimatorKind::Biased, k, theta, local.len(), 3);
+    let est_u = Estimator::new(EstimatorKind::Unbiased, k, theta, local.len(), 3);
+
+    let queries: [(&str, &[&str]); 7] = [
+        ("q1 (naive d1)", &["thai", "noodle", "house"]),
+        ("q2 (naive d2)", &["jade", "noodle", "house"]),
+        ("q3 = thai house", &["thai", "house"]),
+        ("q4 (naive d4)", &["thai", "noodle", "express"]),
+        ("q5 = house", &["house"]),
+        ("q6 = thai", &["thai"]),
+        ("q7 = noodle house", &["noodle", "house"]),
+    ];
+
+    println!(
+        "{:<20} {:>7} {:>8} {:>9} {:>12} {:>10} {:>10}",
+        "query", "|q(D)|", "|q(Hs)|", "type", "true benefit", "biased", "unbiased"
+    );
+    for (label, kws) in queries {
+        let tokens: Vec<_> = kws.iter().filter_map(|w| ctx.vocab.get(w)).collect();
+        let freq_d = local.index().frequency(&tokens);
+        let freq_hs = sample_texts
+            .iter()
+            .filter(|t| kws.iter().all(|w| t.split(' ').any(|x| x == *w)))
+            .count();
+        // |q(D) ∩̃ q(Hs)|: local records in q(D) whose text appears in Hs.
+        let inter = (0..local.len())
+            .filter(|&i| local.doc(i).contains_all(&tokens))
+            .filter(|&i| {
+                let text = local.record(i).full_text().to_lowercase();
+                sample_texts.contains(&text.as_str())
+            })
+            .count();
+        // True benefit: issue for free and match exactly.
+        let kw_strings: Vec<String> = kws.iter().map(|s| s.to_string()).collect();
+        let page = hidden.search(&kw_strings);
+        let truth = page
+            .iter()
+            .filter(|r| {
+                let rdoc = ctx.doc_of_fields(&r.fields);
+                (0..local.len()).any(|i| local.doc(i) == &rdoc)
+            })
+            .count();
+        let qtype = est_b.predict_type(freq_d, freq_hs);
+        println!(
+            "{:<20} {:>7} {:>8} {:>9} {:>12} {:>10.3} {:>10.3}",
+            label,
+            freq_d,
+            freq_hs,
+            format!("{qtype:?}"),
+            truth,
+            est_b.benefit(freq_d, freq_hs, inter),
+            est_u.benefit(freq_d, freq_hs, inter),
+        );
+    }
+}

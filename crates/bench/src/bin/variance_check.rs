@@ -1,0 +1,57 @@
+//! Seed-sensitivity check: every figure in this reproduction is a single
+//! seeded run (like the paper's). This binary rebuilds the default
+//! scenario under several master seeds and reports the mean ± sample
+//! standard deviation of final coverage per approach, confirming that the
+//! reported orderings are not seed artifacts.
+
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+
+fn main() {
+    let scale = scale_from_args().min(0.5); // variance runs are repeated; cap the size
+    let seeds: [u64; 5] = [11, 23, 37, 53, 71];
+    let budget = scaled(2_000, scale);
+    let approaches = [
+        Approach::Ideal,
+        Approach::SmartB,
+        Approach::SmartU,
+        Approach::Full,
+        Approach::Naive,
+    ];
+
+    println!(
+        "seed-sensitivity over {} scenarios (|H| = {}, |D| = {}, b = {budget}):\n",
+        seeds.len(),
+        scaled(100_000, scale),
+        scaled(10_000, scale),
+    );
+    println!("{:<16} {:>10} {:>10} {:>8}", "approach", "mean", "std", "cv%");
+    for approach in approaches {
+        let finals: Vec<f64> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = ScenarioConfig::paper_default();
+                cfg.hidden_size = scaled(100_000, scale);
+                cfg.local_size = scaled(10_000, scale);
+                cfg.seed = seed;
+                let scenario = Scenario::build(cfg);
+                let mut spec = RunSpec::new(approach, budget);
+                spec.checkpoints = checkpoints(budget);
+                spec.seed = seed;
+                run_approach(&scenario, &spec).final_coverage() as f64
+            })
+            .collect();
+        let n = finals.len() as f64;
+        let mean = finals.iter().sum::<f64>() / n;
+        let var = finals.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let std = var.sqrt();
+        println!(
+            "{:<16} {:>10.1} {:>10.1} {:>7.2}%",
+            approach.label(),
+            mean,
+            std,
+            100.0 * std / mean.max(1.0)
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Ground-truth evaluation of crawl reports (paper §7.1.1 "Evaluation
+//! Metrics").
+//!
+//! *Coverage* is the number of local records covered by the crawled hidden
+//! records; *relative coverage* normalizes by `|D − ΔD|` (the coverable
+//! records); *recall* (used for the Yelp experiment) is the fraction of
+//! matching `(d, h)` pairs whose `h` was crawled — identical to relative
+//! coverage in our one-to-one entity model. Coverage is computed from
+//! entity ground truth, never from the crawler's own matcher, exactly like
+//! the paper's hand-labeled evaluation.
+
+use smartcrawl_core::CrawlReport;
+use smartcrawl_data::{EntityId, GroundTruth};
+use std::collections::HashSet;
+
+/// One labeled series: coverage after each checkpoint budget.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Series label (approach name).
+    pub label: String,
+    /// Budgets (number of issued queries) at which coverage was measured.
+    pub budgets: Vec<usize>,
+    /// Ground-truth covered local records at each budget.
+    pub covered: Vec<usize>,
+}
+
+impl Curve {
+    /// Final coverage (at the largest checkpoint).
+    pub fn final_coverage(&self) -> usize {
+        self.covered.last().copied().unwrap_or(0)
+    }
+
+    /// Relative values against a denominator (e.g. `|D − ΔD|`).
+    pub fn relative(&self, denom: usize) -> Vec<f64> {
+        self.covered.iter().map(|&c| c as f64 / denom.max(1) as f64).collect()
+    }
+}
+
+/// Computes the coverage curve of a report at the given checkpoints
+/// (budgets, ascending). A checkpoint beyond the number of issued queries
+/// reports the final coverage.
+pub fn coverage_curve(
+    label: impl Into<String>,
+    report: &CrawlReport,
+    truth: &GroundTruth,
+    checkpoints: &[usize],
+) -> Curve {
+    debug_assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+    let mut crawled: HashSet<EntityId> = HashSet::new();
+    let mut covered_flags = vec![false; truth.num_local()];
+    let mut covered_count = 0usize;
+    let mut budgets = Vec::with_capacity(checkpoints.len());
+    let mut covered = Vec::with_capacity(checkpoints.len());
+
+    // Entity of each local record, precomputed.
+    let local_entities: Vec<EntityId> =
+        (0..truth.num_local()).map(|i| truth.local_entity(i)).collect();
+    // Entity → local records (entities are unique per local in our
+    // generators, but stay general).
+    let mut by_entity: std::collections::HashMap<EntityId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, &e) in local_entities.iter().enumerate() {
+        by_entity.entry(e).or_default().push(i);
+    }
+
+    let mut ck = checkpoints.iter().peekable();
+    for (step_idx, step) in report.steps.iter().enumerate() {
+        for &ext in &step.returned {
+            if let Some(e) = truth.entity_of_external(ext) {
+                if crawled.insert(e) {
+                    if let Some(locals) = by_entity.get(&e) {
+                        for &i in locals {
+                            if !covered_flags[i] {
+                                covered_flags[i] = true;
+                                covered_count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        while let Some(&&c) = ck.peek() {
+            if c == step_idx + 1 {
+                budgets.push(c);
+                covered.push(covered_count);
+                ck.next();
+            } else {
+                break;
+            }
+        }
+    }
+    // Remaining checkpoints (budget larger than issued queries).
+    for &c in ck {
+        budgets.push(c);
+        covered.push(covered_count);
+    }
+    Curve { label: label.into(), budgets, covered }
+}
+
+/// Final ground-truth coverage of a report.
+pub fn final_coverage(report: &CrawlReport, truth: &GroundTruth) -> usize {
+    let n = report.steps.len().max(1);
+    coverage_curve("", report, truth, &[n]).final_coverage()
+}
+
+/// Recall: covered matchable records / all matchable records.
+pub fn recall(report: &CrawlReport, truth: &GroundTruth) -> f64 {
+    final_coverage(report, truth) as f64 / truth.matchable_count().max(1) as f64
+}
+
+/// Precision of the crawler's *own* enrichment assignments: the fraction
+/// of claimed (local, hidden) pairs whose entities actually agree. The
+/// paper assumes a perfect entity-resolution black box; this measures how
+/// far the configured matcher is from that assumption.
+pub fn enrichment_precision(report: &CrawlReport, truth: &GroundTruth) -> f64 {
+    if report.enriched.is_empty() {
+        return 1.0;
+    }
+    let correct = report
+        .enriched
+        .iter()
+        .filter(|p| {
+            truth.entity_of_external(p.external) == Some(truth.local_entity(p.local))
+        })
+        .count();
+    correct as f64 / report.enriched.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_core::crawl::CrawlStep;
+    use smartcrawl_data::{Scenario, ScenarioConfig};
+    use smartcrawl_hidden::ExternalId;
+
+    fn fake_report(returned: Vec<Vec<ExternalId>>) -> CrawlReport {
+        CrawlReport {
+            steps: returned
+                .into_iter()
+                .map(|r| CrawlStep { keywords: vec![], returned: r, full_page: false })
+                .collect(),
+            enriched: vec![],
+            records_removed: 0,
+            selection: Default::default(),
+        }
+    }
+
+    #[test]
+    fn curve_accumulates_per_checkpoint() {
+        let s = Scenario::build(ScenarioConfig::tiny(1));
+        // Crawl "everything" in two giant steps: all externals split in two.
+        let all: Vec<ExternalId> = s.hidden.iter().map(|r| r.external_id).collect();
+        let (a, b) = all.split_at(all.len() / 2);
+        let report = fake_report(vec![a.to_vec(), b.to_vec()]);
+        let curve = coverage_curve("x", &report, &s.truth, &[1, 2]);
+        assert_eq!(curve.budgets, vec![1, 2]);
+        // After both steps every matchable local is covered.
+        assert_eq!(curve.final_coverage(), s.truth.matchable_count());
+        assert!(curve.covered[0] <= curve.covered[1]);
+    }
+
+    #[test]
+    fn unknown_externals_are_ignored() {
+        let s = Scenario::build(ScenarioConfig::tiny(2));
+        let report = fake_report(vec![vec![ExternalId(9_999_999)]]);
+        assert_eq!(final_coverage(&report, &s.truth), 0);
+    }
+
+    #[test]
+    fn checkpoints_beyond_issued_queries_repeat_final_value() {
+        let s = Scenario::build(ScenarioConfig::tiny(3));
+        let all: Vec<ExternalId> = s.hidden.iter().map(|r| r.external_id).collect();
+        let report = fake_report(vec![all]);
+        let curve = coverage_curve("x", &report, &s.truth, &[1, 50, 100]);
+        assert_eq!(curve.covered[0], curve.covered[2]);
+        assert_eq!(curve.budgets, vec![1, 50, 100]);
+    }
+
+    #[test]
+    fn precision_counts_entity_agreement() {
+        let s = Scenario::build(ScenarioConfig::tiny(5));
+        // Build a report claiming one correct and one wrong assignment.
+        let ext_of_local0 = s
+            .hidden
+            .iter()
+            .find(|r| s.truth.entity_of_external(r.external_id) == Some(s.truth.local_entity(0)))
+            .map(|r| r.external_id);
+        let Some(correct_ext) = ext_of_local0 else {
+            return; // local 0 happens to be ΔD under this seed — skip
+        };
+        let wrong_ext = s
+            .hidden
+            .iter()
+            .find(|r| s.truth.entity_of_external(r.external_id) != Some(s.truth.local_entity(1)))
+            .map(|r| r.external_id)
+            .unwrap();
+        let mut report = fake_report(vec![vec![correct_ext, wrong_ext]]);
+        report.enriched = vec![
+            smartcrawl_core::crawl::EnrichedPair {
+                local: 0,
+                external: correct_ext,
+                payload: vec![],
+                hidden_fields: vec![],
+            },
+            smartcrawl_core::crawl::EnrichedPair {
+                local: 1,
+                external: wrong_ext,
+                payload: vec![],
+                hidden_fields: vec![],
+            },
+        ];
+        assert!((enrichment_precision(&report, &s.truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_is_one_when_everything_crawled() {
+        let s = Scenario::build(ScenarioConfig::tiny(4));
+        let all: Vec<ExternalId> = s.hidden.iter().map(|r| r.external_id).collect();
+        let report = fake_report(vec![all]);
+        assert!((recall(&report, &s.truth) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 4 — impact of the sampling ratio (§7.2.1).
+//!
+//! (a) coverage vs budget at θ = 0.2%; (b) at θ = 1%; (c) coverage at
+//! b = 2 000 as θ sweeps 0.1%…1%. Compared: IdealCrawl, SmartCrawl-B,
+//! SmartCrawl-U, FullCrawl, NaiveCrawl. Expected shape: SmartCrawl-B ≈
+//! IdealCrawl even at tiny θ; SmartCrawl-U collapses toward random
+//! selection at small θ; both baselines trail by 2–4×.
+
+use crate::experiments::{compare, scaled};
+use crate::harness::Approach;
+use crate::table::{print_curves, print_sweep, write_csv, write_sweep_csv};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_match::Matcher;
+
+/// All five approaches of the figure.
+const APPROACHES: [Approach; 5] = [
+    Approach::Ideal,
+    Approach::SmartB,
+    Approach::SmartU,
+    Approach::Full,
+    Approach::Naive,
+];
+
+/// Runs Figure 4(a,b,c); writes `results/fig4{a,b,c}.csv`.
+pub fn run(scale: f64) {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = scaled(10_000, scale);
+    let budget = scaled(2_000, scale);
+    let scenario = Scenario::build(cfg);
+
+    // (a) θ = 0.2% — sample size = 0.2% · |H|.
+    let curves_a = compare(&scenario, &APPROACHES, budget, 0.002, Matcher::Exact);
+    print_curves("Figure 4(a): coverage vs budget, theta = 0.2%", &curves_a);
+    write_csv("results/fig4a.csv", &curves_a).expect("write fig4a");
+
+    // (b) θ = 1%.
+    let curves_b = compare(&scenario, &APPROACHES, budget, 0.01, Matcher::Exact);
+    print_curves("Figure 4(b): coverage vs budget, theta = 1%", &curves_b);
+    write_csv("results/fig4b.csv", &curves_b).expect("write fig4b");
+
+    // (c) final coverage at b = budget as θ sweeps.
+    let thetas = [0.001, 0.002, 0.005, 0.01];
+    let mut series: Vec<(String, Vec<f64>)> = APPROACHES
+        .iter()
+        .map(|a| (a.label().to_owned(), Vec::new()))
+        .collect();
+    for &theta in &thetas {
+        let curves = compare(&scenario, &APPROACHES, budget, theta, Matcher::Exact);
+        for (i, c) in curves.iter().enumerate() {
+            series[i].1.push(c.final_coverage() as f64);
+        }
+    }
+    let xs: Vec<f64> = thetas.iter().map(|t| t * 100.0).collect();
+    print_sweep(
+        &format!("Figure 4(c): coverage at b = {budget} vs sampling ratio (%)"),
+        "theta(%)",
+        &xs,
+        &series,
+    );
+    write_sweep_csv("results/fig4c.csv", "theta_pct", &xs, &series).expect("write fig4c");
+}

@@ -1,0 +1,79 @@
+//! Figure 5 — impact of the local database size (§7.2.2).
+//!
+//! (a) |D| = 100, b = 50; (b) |D| = 1 000, b = 200; (c) relative coverage
+//! as |D| sweeps 10…10 000 with b = 20%·|D|. Expected shape: FullCrawl is
+//! hopeless for small |D|/|H| and catches up as the ratio grows; the
+//! local-database-aware approaches are insensitive; NaiveCrawl's relative
+//! coverage is flat at ≈ b/|D| = 20%.
+
+use crate::experiments::{compare, scaled};
+use crate::harness::Approach;
+use crate::table::{print_curves, print_sweep, write_csv, write_sweep_csv};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_match::Matcher;
+
+const APPROACHES: [Approach; 5] = [
+    Approach::Ideal,
+    Approach::SmartB,
+    Approach::SmartU,
+    Approach::Full,
+    Approach::Naive,
+];
+
+/// Table 3 default sample ratio.
+const THETA: f64 = 0.005;
+
+fn scenario_with_local(scale: f64, local: usize) -> Scenario {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = local.min(cfg.hidden_size);
+    Scenario::build(cfg)
+}
+
+/// Runs Figure 5(a,b,c); writes `results/fig5{a,b,c}.csv`.
+pub fn run(scale: f64) {
+    // (a) |D| = 100, b = 50 (paper issues 50 queries here).
+    let s_a = scenario_with_local(scale, scaled(100, scale.max(0.5)));
+    let b_a = (s_a.config.local_size / 2).max(5);
+    let curves_a = compare(&s_a, &APPROACHES, b_a, THETA, Matcher::Exact);
+    print_curves(
+        &format!("Figure 5(a): |D| = {}, coverage vs budget", s_a.config.local_size),
+        &curves_a,
+    );
+    write_csv("results/fig5a.csv", &curves_a).expect("write fig5a");
+
+    // (b) |D| = 1 000, b = 200.
+    let s_b = scenario_with_local(scale, scaled(1_000, scale.max(0.5)));
+    let b_b = (s_b.config.local_size / 5).max(5);
+    let curves_b = compare(&s_b, &APPROACHES, b_b, THETA, Matcher::Exact);
+    print_curves(
+        &format!("Figure 5(b): |D| = {}, coverage vs budget", s_b.config.local_size),
+        &curves_b,
+    );
+    write_csv("results/fig5b.csv", &curves_b).expect("write fig5b");
+
+    // (c) relative coverage vs |D| at b = 20%·|D|.
+    let sizes: Vec<usize> =
+        [10usize, 100, 1_000, 10_000].iter().map(|&n| scaled(n, scale.max(0.2))).collect();
+    let mut series: Vec<(String, Vec<f64>)> = APPROACHES
+        .iter()
+        .map(|a| (a.label().to_owned(), Vec::new()))
+        .collect();
+    for &n in &sizes {
+        let s = scenario_with_local(scale, n);
+        let b = (n / 5).max(1);
+        let curves = compare(&s, &APPROACHES, b, THETA, Matcher::Exact);
+        let denom = s.truth.matchable_count().max(1);
+        for (i, c) in curves.iter().enumerate() {
+            series[i].1.push(100.0 * c.final_coverage() as f64 / denom as f64);
+        }
+    }
+    let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
+    print_sweep(
+        "Figure 5(c): relative coverage (%) vs |D| at b = 20%|D|",
+        "|D|",
+        &xs,
+        &series,
+    );
+    write_sweep_csv("results/fig5c.csv", "local_size", &xs, &series).expect("write fig5c");
+}

@@ -1,0 +1,69 @@
+//! Figure 6 — impact of the result-number limit `k` (§7.2.3).
+//!
+//! (a) k = 50 curves; (b) k = 500 curves; (c) coverage at b = 2 000 as k
+//! sweeps {1, 50, 100, 500}. Expected shape: at k = 1 SmartCrawl-B,
+//! IdealCrawl and NaiveCrawl coincide (no query sharing possible);
+//! NaiveCrawl stays flat as k grows while everything else climbs.
+
+use crate::experiments::{compare, scaled};
+use crate::harness::Approach;
+use crate::table::{print_curves, print_sweep, write_csv, write_sweep_csv};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_match::Matcher;
+
+const APPROACHES: [Approach; 5] = [
+    Approach::Ideal,
+    Approach::SmartB,
+    Approach::SmartU,
+    Approach::Full,
+    Approach::Naive,
+];
+
+const THETA: f64 = 0.005;
+
+fn scenario_with_k(scale: f64, k: usize) -> Scenario {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(100_000, scale);
+    cfg.local_size = scaled(10_000, scale);
+    cfg.k = k;
+    Scenario::build(cfg)
+}
+
+/// Runs Figure 6(a,b,c); writes `results/fig6{a,b,c}.csv`.
+pub fn run(scale: f64) {
+    let budget = scaled(2_000, scale);
+
+    // (a) k = 50.
+    let s_a = scenario_with_k(scale, 50);
+    let curves_a = compare(&s_a, &APPROACHES, budget, THETA, Matcher::Exact);
+    print_curves("Figure 6(a): k = 50, coverage vs budget", &curves_a);
+    write_csv("results/fig6a.csv", &curves_a).expect("write fig6a");
+
+    // (b) k = 500.
+    let s_b = scenario_with_k(scale, 500);
+    let curves_b = compare(&s_b, &APPROACHES, budget, THETA, Matcher::Exact);
+    print_curves("Figure 6(b): k = 500, coverage vs budget", &curves_b);
+    write_csv("results/fig6b.csv", &curves_b).expect("write fig6b");
+
+    // (c) coverage at b = budget vs k.
+    let ks = [1usize, 50, 100, 500];
+    let mut series: Vec<(String, Vec<f64>)> = APPROACHES
+        .iter()
+        .map(|a| (a.label().to_owned(), Vec::new()))
+        .collect();
+    for &k in &ks {
+        let s = scenario_with_k(scale, k);
+        let curves = compare(&s, &APPROACHES, budget, THETA, Matcher::Exact);
+        for (i, c) in curves.iter().enumerate() {
+            series[i].1.push(c.final_coverage() as f64);
+        }
+    }
+    let xs: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    print_sweep(
+        &format!("Figure 6(c): coverage at b = {budget} vs k"),
+        "k",
+        &xs,
+        &series,
+    );
+    write_sweep_csv("results/fig6c.csv", "k", &xs, &series).expect("write fig6c");
+}

@@ -1,0 +1,114 @@
+//! Figure 9 — the Yelp-style "real hidden database" experiment (§7.3).
+//!
+//! The scenario reproduces §7.1.2: a stale 3 000-record local snapshot of
+//! a 36 500-business hidden database with textual drift and closures, a
+//! k = 50 *non-conjunctive* (disjunctive) interface, and a hidden-database
+//! sample built through the interface itself with the pool-based sampler
+//! (the paper used Zhang et al. \[48\]: a 500-record sample via 6 483
+//! queries). Recall vs budget for SmartCrawl, NaiveCrawl, FullCrawl.
+//! Expected shape: SmartCrawl reaches high recall with a fraction of |D|
+//! queries; NaiveCrawl plateaus below it even after |D| queries (data
+//! inconsistencies poison its specific queries); FullCrawl crawls mostly
+//! irrelevant businesses.
+
+use crate::experiments::{checkpoints, scaled};
+use crate::harness::{run_approach, Approach, RunSpec};
+use crate::table::{print_curves, print_curves_relative, write_csv};
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_hidden::Metered;
+use smartcrawl_match::Matcher;
+use smartcrawl_sampler::{pool_sample_queries, PoolSamplerConfig};
+use smartcrawl_text::Tokenizer;
+
+/// Runs Figure 9; writes `results/fig9.csv`.
+pub fn run(scale: f64) {
+    let mut cfg = ScenarioConfig::yelp_like();
+    cfg.hidden_size = scaled(60_000, scale);
+    cfg.local_size = scaled(3_000, scale);
+    cfg.delta_d = scaled(150, scale);
+    let scenario = Scenario::build(cfg);
+    let budget = scenario.config.local_size; // paper sweeps 300…3000 = |D|
+
+    // Build the hidden-database sample through the interface, like the
+    // paper: the sampler's pool holds every single keyword of the local
+    // snapshot plus every within-record keyword pair (pairs keep the
+    // sampler effective when most single keywords overflow at k = 50 —
+    // the role of Zhang et al.'s query trees).
+    let tokenizer = Tokenizer::default();
+    let mut pool_queries: Vec<Vec<String>> = Vec::new();
+    let mut singles: Vec<String> = Vec::new();
+    for r in &scenario.local {
+        let mut toks: Vec<String> = tokenizer.raw_tokens(&r.fields().join(" ")).collect();
+        toks.sort_unstable();
+        toks.dedup();
+        for i in 0..toks.len() {
+            singles.push(toks[i].clone());
+            for j in (i + 1)..toks.len() {
+                pool_queries.push(vec![toks[i].clone(), toks[j].clone()]);
+            }
+        }
+    }
+    singles.sort_unstable();
+    singles.dedup();
+    pool_queries.extend(singles.into_iter().map(|w| vec![w]));
+    pool_queries.sort_unstable();
+    pool_queries.dedup();
+    let mut sampler_iface = Metered::new(&scenario.hidden, None);
+    let sampler_cfg = PoolSamplerConfig {
+        target_size: scaled(500, scale),
+        max_queries: scaled(25_000, scale.max(0.5)),
+        seed: 7,
+    };
+    let out = pool_sample_queries(&mut sampler_iface, &pool_queries, &sampler_cfg);
+    println!(
+        "pool sampler: |Hs| = {}, theta_hat = {:.4}, |H|_hat = {:.0} (true {}), {} queries",
+        out.sample.len(),
+        out.sample.theta,
+        out.size_estimate,
+        scenario.hidden.len(),
+        out.queries_used
+    );
+
+    // Two SmartCrawl variants: one with an oracle-quality sample (the
+    // paper assumes the Zhang et al. sampler delivers an unbiased sample
+    // with a correct θ — "0.2% sample with size 500"), and one driven by
+    // the sample our own interface-based sampler produced, as an honest
+    // sensitivity check.
+    // The entity-resolution black box is domain-tuned (paper §2 treats ER
+    // as pluggable): with name + address + city documents, a Jaccard
+    // threshold of 0.75 absorbs one drifted token while addresses keep
+    // distinct businesses well below it.
+    let matcher = Matcher::Jaccard { threshold: 0.75 };
+    let cks = checkpoints(budget);
+    let mut curves = Vec::new();
+    {
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = cks.clone();
+        spec.matcher = matcher;
+        spec.theta = 0.002; // the paper's 0.2% sample
+        let curve = run_approach(&scenario, &spec);
+        curves.push(curve);
+    }
+    {
+        let mut spec = RunSpec::new(Approach::SmartB, budget);
+        spec.checkpoints = cks.clone();
+        spec.matcher = matcher;
+        spec.sample_override = Some(out.sample.clone());
+        let mut curve = run_approach(&scenario, &spec);
+        curve.label = "SmartB/sampled".to_owned();
+        curves.push(curve);
+    }
+    for approach in [Approach::Naive, Approach::Full] {
+        let mut spec = RunSpec::new(approach, budget);
+        spec.checkpoints = cks.clone();
+        spec.matcher = matcher;
+        let curve = run_approach(&scenario, &spec);
+        curves.push(curve);
+    }
+    // The paper also reports NaiveCrawl after issuing *all* |D| queries —
+    // covered by budget = |D| above.
+    let denom = scenario.truth.matchable_count();
+    print_curves("Figure 9: Yelp-style hidden database, covered records vs budget", &curves);
+    print_curves_relative("Figure 9: recall vs budget", &curves, denom);
+    write_csv("results/fig9.csv", &curves).expect("write fig9");
+}

@@ -1,0 +1,110 @@
+//! The per-figure experiments of §7. Each module regenerates one figure
+//! (or table); the binaries under `src/bin/` are thin wrappers.
+//!
+//! All experiments accept a scale factor: `1.0` reproduces the paper's
+//! sizes (|H| = 100 000, |D| = 10 000, b ≤ 2 000), smaller factors shrink
+//! everything proportionally for quick runs (`--quick` ⇒ 0.1).
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use crate::eval::Curve;
+use crate::harness::{run_approach, Approach, RunSpec};
+use smartcrawl_data::Scenario;
+use smartcrawl_match::Matcher;
+
+/// Parses the scale factor from CLI args: `--quick` ⇒ 0.1, `--scale X` ⇒
+/// X, default 1.0 (paper scale).
+pub fn scale_from_args() -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        return 0.1;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
+            return v;
+        }
+    }
+    1.0
+}
+
+/// Scales a paper-sized quantity, keeping it at least 1.
+pub fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(1)
+}
+
+/// Ten evenly spaced checkpoints up to `budget`.
+pub fn checkpoints(budget: usize) -> Vec<usize> {
+    let step = (budget / 10).max(1);
+    let mut cks: Vec<usize> = (1..=10).map(|i| (i * step).min(budget)).collect();
+    cks.dedup();
+    if *cks.last().unwrap() != budget {
+        cks.push(budget);
+    }
+    cks
+}
+
+/// Runs several approaches over one scenario concurrently and returns
+/// their curves in input order.
+pub fn compare(
+    scenario: &Scenario,
+    approaches: &[Approach],
+    budget: usize,
+    theta: f64,
+    matcher: Matcher,
+) -> Vec<Curve> {
+    let cks = checkpoints(budget);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = approaches
+            .iter()
+            .map(|&approach| {
+                let cks = cks.clone();
+                scope.spawn(move || {
+                    let mut spec = RunSpec::new(approach, budget);
+                    spec.checkpoints = cks;
+                    spec.theta = theta;
+                    spec.matcher = matcher;
+                    run_approach(scenario, &spec)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_end_at_budget() {
+        assert_eq!(checkpoints(20).last(), Some(&20));
+        assert_eq!(checkpoints(7).last(), Some(&7));
+        assert_eq!(checkpoints(1), vec![1]);
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        assert_eq!(scaled(100, 0.5), 50);
+        assert_eq!(scaled(3, 0.01), 1);
+    }
+
+    #[test]
+    fn compare_runs_multiple_approaches() {
+        let s = Scenario::build(smartcrawl_data::ScenarioConfig::tiny(8));
+        let curves = compare(
+            &s,
+            &[Approach::SmartB, Approach::Naive],
+            10,
+            0.05,
+            Matcher::Exact,
+        );
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].label, "SmartCrawl-B");
+        assert_eq!(curves[1].label, "NaiveCrawl");
+    }
+}

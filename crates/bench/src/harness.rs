@@ -1,0 +1,224 @@
+//! Runs any of the paper's approaches over a scenario and evaluates the
+//! ground-truth coverage curve (Appendix C "Implementation of Different
+//! Approaches").
+
+use crate::eval::{coverage_curve, Curve};
+use smartcrawl_core::crawl::{
+    full_crawl, ideal_crawl, naive_crawl, smart_crawl, IdealCrawlConfig, SmartCrawlConfig,
+};
+use smartcrawl_core::{DeltaRemoval, LocalDb, PoolConfig, Strategy, TextContext};
+use smartcrawl_data::Scenario;
+use smartcrawl_hidden::Metered;
+use smartcrawl_match::Matcher;
+use smartcrawl_sampler::{bernoulli_sample, HiddenSample};
+
+/// The crawling approaches compared throughout §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// IdealCrawl: QSel-Ideal with oracle benefits (upper bound).
+    Ideal,
+    /// SmartCrawl-B: QSel-Est with biased estimators.
+    SmartB,
+    /// SmartCrawl-U: QSel-Est with unbiased estimators.
+    SmartU,
+    /// SmartCrawl with QSel-Simple (no sample).
+    Simple,
+    /// SmartCrawl with QSel-Bound (no sample; no-top-k analysis).
+    Bound,
+    /// NaiveCrawl baseline.
+    Naive,
+    /// FullCrawl baseline (uses its own 1% sample, per Appendix C).
+    Full,
+}
+
+impl Approach {
+    /// Display label used in tables and CSV headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::Ideal => "IdealCrawl",
+            Approach::SmartB => "SmartCrawl-B",
+            Approach::SmartU => "SmartCrawl-U",
+            Approach::Simple => "QSel-Simple",
+            Approach::Bound => "QSel-Bound",
+            Approach::Naive => "NaiveCrawl",
+            Approach::Full => "FullCrawl",
+        }
+    }
+}
+
+/// Parameters of one run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Which approach to run.
+    pub approach: Approach,
+    /// Query budget `b`.
+    pub budget: usize,
+    /// Budgets at which to report coverage (ascending; last should equal
+    /// `budget`).
+    pub checkpoints: Vec<usize>,
+    /// Sampling ratio θ for SmartCrawl's sample (ignored by others).
+    pub theta: f64,
+    /// Sampling ratio for FullCrawl's own sample (paper: 1%).
+    pub full_theta: f64,
+    /// Entity-resolution policy used by the crawler.
+    pub matcher: Matcher,
+    /// Query-pool generation parameters.
+    pub pool: PoolConfig,
+    /// ΔD-removal policy for QSel-Est.
+    pub delta_removal: DeltaRemoval,
+    /// §5.3 overflow-model odds ratio ω (1.0 = paper assumption).
+    pub omega: f64,
+    /// Seed for sampling and order randomization.
+    pub seed: u64,
+    /// Pre-built sample overriding `theta` (e.g. from the pool-based
+    /// sampler in the Yelp experiment).
+    pub sample_override: Option<HiddenSample>,
+}
+
+impl RunSpec {
+    /// A spec with the paper's common defaults for the given approach and
+    /// budget, with checkpoints every `budget/10`.
+    pub fn new(approach: Approach, budget: usize) -> Self {
+        let step = (budget / 10).max(1);
+        let mut checkpoints: Vec<usize> = (1..=10).map(|i| i * step).collect();
+        if *checkpoints.last().unwrap() != budget {
+            checkpoints.push(budget);
+        }
+        Self {
+            approach,
+            budget,
+            checkpoints,
+            theta: 0.005, // Table 3 default sample ratio 0.5%
+            full_theta: 0.01,
+            matcher: Matcher::Exact,
+            pool: PoolConfig::default(),
+            delta_removal: DeltaRemoval::Observed,
+            omega: 1.0,
+            seed: 0,
+            sample_override: None,
+        }
+    }
+}
+
+/// Runs `spec` against `scenario` and returns the ground-truth coverage
+/// curve.
+pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let mut iface = Metered::new(&scenario.hidden, Some(spec.budget));
+
+    let smart_sample = |theta: f64| -> HiddenSample {
+        match &spec.sample_override {
+            Some(s) => s.clone(),
+            None => bernoulli_sample(&scenario.hidden, theta, spec.seed ^ 0x005A_3B1E),
+        }
+    };
+
+    let report = match spec.approach {
+        Approach::Ideal => ideal_crawl(
+            &local,
+            &mut iface,
+            &scenario.hidden,
+            &IdealCrawlConfig {
+                budget: spec.budget,
+                matcher: spec.matcher,
+                pool: spec.pool,
+            },
+            ctx,
+        ),
+        Approach::SmartB | Approach::SmartU | Approach::Simple | Approach::Bound => {
+            let (strategy, sample) = match spec.approach {
+                Approach::SmartB => (
+                    Strategy::Est {
+                        kind: smartcrawl_core::EstimatorKind::Biased,
+                        delta_removal: spec.delta_removal,
+                    },
+                    smart_sample(spec.theta),
+                ),
+                Approach::SmartU => (
+                    Strategy::Est {
+                        kind: smartcrawl_core::EstimatorKind::Unbiased,
+                        delta_removal: spec.delta_removal,
+                    },
+                    smart_sample(spec.theta),
+                ),
+                Approach::Simple => {
+                    (Strategy::Simple, HiddenSample { records: vec![], theta: 0.0 })
+                }
+                Approach::Bound => {
+                    (Strategy::Bound, HiddenSample { records: vec![], theta: 0.0 })
+                }
+                _ => unreachable!(),
+            };
+            smart_crawl(
+                &local,
+                &sample,
+                &mut iface,
+                &SmartCrawlConfig {
+                    budget: spec.budget,
+                    strategy,
+                    matcher: spec.matcher,
+                    pool: spec.pool,
+                    omega: spec.omega,
+                },
+                ctx,
+            )
+        }
+        Approach::Naive => {
+            naive_crawl(&local, &mut iface, spec.budget, spec.matcher, spec.seed, ctx)
+        }
+        Approach::Full => {
+            let sample = bernoulli_sample(&scenario.hidden, spec.full_theta, spec.seed ^ 0xF011);
+            full_crawl(&local, &sample, &mut iface, spec.budget, spec.matcher, ctx)
+        }
+    };
+
+    coverage_curve(spec.approach.label(), &report, &scenario.truth, &spec.checkpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_data::ScenarioConfig;
+
+    #[test]
+    fn all_approaches_run_on_a_tiny_scenario() {
+        let s = smartcrawl_data::Scenario::build(ScenarioConfig::tiny(5));
+        for approach in [
+            Approach::Ideal,
+            Approach::SmartB,
+            Approach::SmartU,
+            Approach::Simple,
+            Approach::Bound,
+            Approach::Naive,
+            Approach::Full,
+        ] {
+            let mut spec = RunSpec::new(approach, 15);
+            spec.theta = 0.05;
+            let curve = run_approach(&s, &spec);
+            assert_eq!(curve.label, approach.label());
+            assert!(curve.final_coverage() <= s.truth.matchable_count());
+            // Monotone non-decreasing.
+            assert!(curve.covered.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn smart_b_beats_naive_on_small_budget() {
+        let mut cfg = ScenarioConfig::tiny(6);
+        cfg.local_size = 120;
+        cfg.delta_d = 0;
+        cfg.hidden_size = 600;
+        cfg.k = 20;
+        let s = smartcrawl_data::Scenario::build(cfg);
+        let budget = 24; // 20% of |D|
+        let mut spec_b = RunSpec::new(Approach::SmartB, budget);
+        spec_b.theta = 0.05;
+        let smart = run_approach(&s, &spec_b).final_coverage();
+        let naive = run_approach(&s, &RunSpec::new(Approach::Naive, budget)).final_coverage();
+        assert!(
+            smart > naive,
+            "query sharing should dominate: smart {smart} vs naive {naive}"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness for the SmartCrawl reproduction.
+//!
+//! One module per figure/table of the paper's evaluation (§7), plus the
+//! shared machinery:
+//!
+//! * [`eval`] — ground-truth coverage/recall curves from crawl reports;
+//! * [`harness`] — runs any approach (IdealCrawl, SmartCrawl-B/-U,
+//!   QSel-Simple/Bound variants, NaiveCrawl, FullCrawl) over a scenario;
+//! * [`table`] — aligned-text and CSV emission;
+//! * [`experiments`] — the per-figure parameter sweeps.
+//!
+//! Each figure has a binary (`cargo run --release -p smartcrawl-bench
+//! --bin fig4_sampling_ratio`) that prints the series and writes
+//! `results/<figure>.csv`.
+
+pub mod eval;
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use eval::{coverage_curve, enrichment_precision, recall, Curve};
+pub use harness::{run_approach, Approach, RunSpec};

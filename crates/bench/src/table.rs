@@ -1,0 +1,168 @@
+//! Emission of experiment results: aligned terminal tables and CSV files
+//! under `results/`.
+
+use crate::eval::Curve;
+use std::io::Write;
+use std::path::Path;
+
+/// Prints a titled table: first column is the budget, one column per
+/// curve. All curves must share their budget axis.
+pub fn print_curves(title: &str, curves: &[Curve]) {
+    println!("\n== {title} ==");
+    if curves.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let budgets = &curves[0].budgets;
+    for c in curves {
+        assert_eq!(&c.budgets, budgets, "curves must share the budget axis");
+    }
+    let mut header = format!("{:>8}", "budget");
+    for c in curves {
+        header.push_str(&format!("  {:>14}", c.label));
+    }
+    println!("{header}");
+    for (i, b) in budgets.iter().enumerate() {
+        let mut row = format!("{b:>8}");
+        for c in curves {
+            row.push_str(&format!("  {:>14}", c.covered[i]));
+        }
+        println!("{row}");
+    }
+}
+
+/// Prints the same table with values normalized by `denom` (relative
+/// coverage / recall).
+pub fn print_curves_relative(title: &str, curves: &[Curve], denom: usize) {
+    println!("\n== {title} (relative, denom = {denom}) ==");
+    if curves.is_empty() {
+        return;
+    }
+    let budgets = &curves[0].budgets;
+    let mut header = format!("{:>8}", "budget");
+    for c in curves {
+        header.push_str(&format!("  {:>14}", c.label));
+    }
+    println!("{header}");
+    for (i, b) in budgets.iter().enumerate() {
+        let mut row = format!("{b:>8}");
+        for c in curves {
+            row.push_str(&format!("  {:>14.3}", c.covered[i] as f64 / denom.max(1) as f64));
+        }
+        println!("{row}");
+    }
+}
+
+/// Writes curves as CSV: `budget,<label1>,<label2>,…`.
+pub fn write_csv(path: impl AsRef<Path>, curves: &[Curve]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    if curves.is_empty() {
+        return Ok(());
+    }
+    write!(f, "budget")?;
+    for c in curves {
+        write!(f, ",{}", c.label)?;
+    }
+    writeln!(f)?;
+    for (i, b) in curves[0].budgets.iter().enumerate() {
+        write!(f, "{b}")?;
+        for c in curves {
+            write!(f, ",{}", c.covered[i])?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Writes a generic two-column-plus CSV used by sweep experiments
+/// (`x,<label1>,<label2>,…` with f64 values).
+pub fn write_sweep_csv(
+    path: impl AsRef<Path>,
+    x_name: &str,
+    xs: &[f64],
+    series: &[(String, Vec<f64>)],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "{x_name}")?;
+    for (label, _) in series {
+        write!(f, ",{label}")?;
+    }
+    writeln!(f)?;
+    for (i, x) in xs.iter().enumerate() {
+        write!(f, "{x}")?;
+        for (_, ys) in series {
+            write!(f, ",{}", ys[i])?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Prints a sweep table (`x` column + one column per series).
+pub fn print_sweep(title: &str, x_name: &str, xs: &[f64], series: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    let mut header = format!("{x_name:>10}");
+    for (label, _) in series {
+        header.push_str(&format!("  {label:>14}"));
+    }
+    println!("{header}");
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = format!("{x:>10}");
+        for (_, ys) in series {
+            row.push_str(&format!("  {:>14.1}", ys[i]));
+        }
+        println!("{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(label: &str) -> Curve {
+        Curve { label: label.into(), budgets: vec![1, 2], covered: vec![3, 5] }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("smartcrawl_table_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &[curve("A"), curve("B")]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "budget,A,B\n1,3,3\n2,5,5\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_csv_round_trip() {
+        let dir = std::env::temp_dir().join("smartcrawl_sweep_test");
+        let path = dir.join("s.csv");
+        write_sweep_csv(
+            &path,
+            "theta",
+            &[0.1, 0.2],
+            &[("X".to_owned(), vec![1.0, 2.0])],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "theta,X\n0.1,1\n0.2,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "curves must share the budget axis")]
+    fn mismatched_axes_rejected() {
+        let a = curve("A");
+        let mut b = curve("B");
+        b.budgets = vec![1, 3];
+        print_curves("t", &[a, b]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared tokenization state for one crawl.
+//!
+//! The local index, the sample index, the query pool, and the documents of
+//! records returned at crawl time must all live in a single vocabulary, or
+//! token-id comparisons between them would be meaningless. [`TextContext`]
+//! bundles the tokenizer and that vocabulary; it stays mutable throughout a
+//! crawl because returned hidden records can contain keywords never seen in
+//! `D` (which must *not* be dropped — an extra unseen keyword changes both
+//! exact equality and Jaccard similarity).
+
+use smartcrawl_text::{Document, Tokenizer, Vocabulary};
+
+/// Tokenizer + vocabulary shared by everything in one crawl.
+#[derive(Debug, Default)]
+pub struct TextContext {
+    /// The normalization pipeline.
+    pub tokenizer: Tokenizer,
+    /// The crawl-wide vocabulary.
+    pub vocab: Vocabulary,
+}
+
+impl TextContext {
+    /// Creates a fresh context with default tokenization.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizes free text into the shared vocabulary.
+    pub fn doc(&mut self, text: &str) -> Document {
+        self.tokenizer.tokenize(text, &mut self.vocab)
+    }
+
+    /// Tokenizes a multi-field record into the shared vocabulary.
+    pub fn doc_of_fields<S: AsRef<str>>(&mut self, fields: &[S]) -> Document {
+        self.tokenizer.tokenize_fields(fields, &mut self.vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_interns_into_shared_vocab() {
+        let mut ctx = TextContext::new();
+        let a = ctx.doc("thai noodle house");
+        let b = ctx.doc("noodle bar");
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.intersection_size(&b), 1); // "noodle" shared id
+        assert_eq!(ctx.vocab.len(), 4);
+    }
+
+    #[test]
+    fn doc_of_fields_concatenates() {
+        let mut ctx = TextContext::new();
+        let d = ctx.doc_of_fields(&["thai house", "phoenix"]);
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! Error detection from fuzzy matches (paper §1: enrichment "is also
+//! beneficial to some other data preparation tasks such as error
+//! detection [9]"; §9 future work #3 lists data cleaning as a crawl
+//! purpose).
+//!
+//! When the entity resolver matched a local record to a hidden record
+//! *fuzzily*, the token difference between the two is evidence of a local
+//! data error (the hidden database "is typically of high quality and keeps
+//! up to date", §1) — exactly the "Lotus of Siam 12345" example from the
+//! introduction. [`suggest_corrections`] surfaces those differences as
+//! reviewable suggestions.
+
+use crate::context::TextContext;
+use crate::crawl::CrawlReport;
+use crate::local::LocalDb;
+
+/// One suggested correction for a local record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Correction {
+    /// The local record position.
+    pub local: usize,
+    /// Keywords present locally but absent from the matched hidden record
+    /// — suspected junk/typos (e.g. the bogus `12345`).
+    pub extraneous: Vec<String>,
+    /// Keywords present in the hidden record but missing locally —
+    /// suspected omissions or stale values.
+    pub missing: Vec<String>,
+    /// The matched hidden record's full text, as the suggested reference.
+    pub reference: String,
+}
+
+/// Extracts correction suggestions from a crawl report: every enrichment
+/// pair whose local and hidden documents differ yields one
+/// [`Correction`]. Exact matches produce nothing.
+pub fn suggest_corrections(
+    report: &CrawlReport,
+    local: &LocalDb,
+    ctx: &mut TextContext,
+) -> Vec<Correction> {
+    let mut out = Vec::new();
+    for pair in &report.enriched {
+        let local_doc = local.doc(pair.local).clone();
+        let hidden_doc = ctx.doc_of_fields(&pair.hidden_fields);
+        if local_doc == hidden_doc {
+            continue;
+        }
+        let extraneous: Vec<String> = local_doc
+            .iter()
+            .filter(|&t| !hidden_doc.contains(t))
+            .map(|t| ctx.vocab.word(t).to_owned())
+            .collect();
+        let missing: Vec<String> = hidden_doc
+            .iter()
+            .filter(|&t| !local_doc.contains(t))
+            .map(|t| ctx.vocab.word(t).to_owned())
+            .collect();
+        out.push(Correction {
+            local: pair.local,
+            extraneous,
+            missing,
+            reference: pair.hidden_fields.join(" "),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::{smart_crawl, SmartCrawlConfig};
+    use crate::pool::PoolConfig;
+    use crate::select::Strategy;
+    use smartcrawl_hidden::{HiddenDbBuilder, HiddenRecord, Metered};
+    use smartcrawl_match::Matcher;
+    use smartcrawl_sampler::bernoulli_sample;
+    use smartcrawl_text::Record;
+
+    #[test]
+    fn fuzzy_match_yields_a_correction() {
+        // The introduction's example: a local record polluted with "12345".
+        let mut ctx = TextContext::new();
+        let shared: Vec<String> = (0..10).map(|i| format!("word{i}")).collect();
+        let dirty = format!("{} 12345", shared.join(" "));
+        let local = LocalDb::build(
+            vec![Record::from([dirty]), Record::from([shared.join(" ")])],
+            &mut ctx,
+        );
+        let hidden = HiddenDbBuilder::new()
+            .k(5)
+            .records([HiddenRecord::new(0, Record::from([shared.join(" ")]), vec![], 1.0)])
+            .build();
+        let sample = bernoulli_sample(&hidden, 1.0, 0);
+        let mut iface = Metered::new(&hidden, None);
+        let report = smart_crawl(
+            &local,
+            &sample,
+            &mut iface,
+            &SmartCrawlConfig {
+                budget: 5,
+                strategy: Strategy::est_biased(),
+                matcher: Matcher::Jaccard { threshold: 0.9 },
+                pool: PoolConfig { min_support: 2, max_len: 2, seed: 1 },
+                omega: 1.0,
+            },
+            ctx,
+        );
+        let mut check_ctx = TextContext::new();
+        let check_local = LocalDb::build(
+            vec![
+                Record::from([format!("{} 12345", shared.join(" "))]),
+                Record::from([shared.join(" ")]),
+            ],
+            &mut check_ctx,
+        );
+        let corrections = suggest_corrections(&report, &check_local, &mut check_ctx);
+        // The dirty record (J = 10/11 ≈ 0.91) matched fuzzily → flagged;
+        // the clean one matched exactly → silent.
+        assert_eq!(corrections.len(), 1, "report: {report:?}");
+        let c = &corrections[0];
+        assert_eq!(c.local, 0);
+        assert_eq!(c.extraneous, vec!["12345".to_owned()]);
+        assert!(c.missing.is_empty());
+        assert_eq!(c.reference, shared.join(" "));
+    }
+
+    #[test]
+    fn exact_matches_yield_nothing() {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(vec![Record::from(["alpha beta gamma"])], &mut ctx);
+        let hidden = HiddenDbBuilder::new()
+            .k(5)
+            .records([HiddenRecord::new(0, Record::from(["alpha beta gamma"]), vec![], 1.0)])
+            .build();
+        let sample = bernoulli_sample(&hidden, 1.0, 0);
+        let mut iface = Metered::new(&hidden, None);
+        let report = smart_crawl(
+            &local,
+            &sample,
+            &mut iface,
+            &SmartCrawlConfig {
+                budget: 3,
+                strategy: Strategy::est_biased(),
+                matcher: Matcher::Exact,
+                pool: PoolConfig { min_support: 1, max_len: 1, seed: 1 },
+                omega: 1.0,
+            },
+            ctx,
+        );
+        assert!(report.covered_claimed() > 0);
+        let mut check_ctx = TextContext::new();
+        let check_local =
+            LocalDb::build(vec![Record::from(["alpha beta gamma"])], &mut check_ctx);
+        assert!(suggest_corrections(&report, &check_local, &mut check_ctx).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Crawlers: the public entry points that spend a query budget against a
+//! hidden database and report what they covered.
+//!
+//! * [`smart_crawl`] — the SmartCrawl framework (QSel-Simple, QSel-Bound,
+//!   or QSel-Est);
+//! * [`ideal_crawl`] — IdealCrawl: SmartCrawl with QSel-Ideal and free
+//!   oracle evaluation (an upper bound, usable only against a simulator);
+//! * [`naive_crawl`] — NaiveCrawl: one maximally-specific query per local
+//!   record, in random order (what OpenRefine's reconciliation does);
+//! * [`full_crawl`] — FullCrawl: classic hidden-database crawling that
+//!   issues sample-frequent keywords to maximize *hidden* coverage,
+//!   oblivious of `D`;
+//! * [`online_smart_crawl`] — SmartCrawl with *runtime sampling* (paper
+//!   §9 future work #1): no offline sample; sampling rounds are
+//!   interleaved with crawling under one budget;
+//! * [`populate_crawl`] — row population (paper §9 future work #3):
+//!   crawl for new *rows* of the local table's kind instead of new
+//!   columns.
+
+mod clean;
+mod full;
+mod naive;
+mod online;
+mod populate;
+mod smart;
+
+pub use clean::{suggest_corrections, Correction};
+
+pub use full::full_crawl;
+pub use naive::naive_crawl;
+pub use online::{online_smart_crawl, OnlineCrawlConfig};
+pub use populate::{populate_crawl, PopulateConfig, PopulateOutcome};
+pub use smart::{ideal_crawl, smart_crawl, IdealCrawlConfig, SmartCrawlConfig};
+
+use smartcrawl_hidden::ExternalId;
+
+/// One issued query and what came back.
+#[derive(Debug, Clone)]
+pub struct CrawlStep {
+    /// The issued keywords.
+    pub keywords: Vec<String>,
+    /// External ids of the returned records, rank order.
+    pub returned: Vec<ExternalId>,
+    /// Whether the page hit the interface's `k` limit (possible overflow).
+    pub full_page: bool,
+}
+
+/// A local record successfully matched to a crawled hidden record — the
+/// enrichment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrichedPair {
+    /// Local record position.
+    pub local: usize,
+    /// Matching hidden record.
+    pub external: ExternalId,
+    /// The hidden record's enrichment attributes.
+    pub payload: Vec<String>,
+    /// The hidden record's indexed fields, as returned — kept so fuzzy
+    /// matches can drive error detection (see [`suggest_corrections`]).
+    pub hidden_fields: Vec<String>,
+}
+
+/// Everything a crawler did with its budget.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlReport {
+    /// Issued queries, in order.
+    pub steps: Vec<CrawlStep>,
+    /// Matcher-asserted local-to-hidden assignments (first match wins).
+    pub enriched: Vec<EnrichedPair>,
+    /// Local records the crawler removed from consideration (covered plus
+    /// ΔD-predicted removals — SmartCrawl/IdealCrawl only).
+    pub records_removed: usize,
+    /// Selection-machinery work counters (SmartCrawl/IdealCrawl only;
+    /// zeros for the baselines, which have no selection machinery).
+    pub selection: crate::select::engine::SelectionStats,
+}
+
+impl CrawlReport {
+    /// Number of queries actually issued.
+    pub fn queries_issued(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of local records the crawler *believes* it covered (by its
+    /// own matcher — ground-truth coverage is computed by the evaluation
+    /// harness).
+    pub fn covered_claimed(&self) -> usize {
+        self.enriched.len()
+    }
+
+    /// A one-line human-readable summary (used by the CLI and examples).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries issued, {} records covered, {} removed from D              ({} priority recomputations, {} forward-index touches)",
+            self.queries_issued(),
+            self.covered_claimed(),
+            self.records_removed,
+            self.selection.stale_recomputes,
+            self.selection.forward_touches,
+        )
+    }
+
+    /// All distinct crawled external ids, in first-seen order.
+    pub fn crawled_ids(&self) -> Vec<ExternalId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for step in &self.steps {
+            for &id in &step.returned {
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crawled_ids_dedupe_across_steps() {
+        let report = CrawlReport {
+            selection: Default::default(),
+            steps: vec![
+                CrawlStep {
+                    keywords: vec!["a".into()],
+                    returned: vec![ExternalId(1), ExternalId(2)],
+                    full_page: false,
+                },
+                CrawlStep {
+                    keywords: vec!["b".into()],
+                    returned: vec![ExternalId(2), ExternalId(3)],
+                    full_page: false,
+                },
+            ],
+            enriched: vec![],
+            records_removed: 0,
+        };
+        assert_eq!(report.queries_issued(), 2);
+        assert_eq!(
+            report.crawled_ids(),
+            vec![ExternalId(1), ExternalId(2), ExternalId(3)]
+        );
+        assert!(report.summary().starts_with("2 queries issued, 0 records covered"));
+    }
+}

@@ -1,0 +1,141 @@
+//! NaiveCrawl (paper §1, Appendix C): one maximally-specific query per
+//! local record, issued in random order — the strategy OpenRefine's
+//! reconciliation API uses. No query sharing, fragile under data errors
+//! (a single wrong keyword makes the conjunctive query return nothing).
+
+use crate::context::TextContext;
+use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
+use crate::local::{LocalDb, LocalMatchIndex};
+use crate::query::Query;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+use smartcrawl_hidden::SearchInterface;
+use smartcrawl_match::Matcher;
+
+/// Runs NaiveCrawl with the given budget: for each local record (random
+/// order, seeded), issue its full document as a conjunctive query and match
+/// the returned page against the local database.
+pub fn naive_crawl<I: SearchInterface>(
+    local: &LocalDb,
+    iface: &mut I,
+    budget: usize,
+    matcher: Matcher,
+    seed: u64,
+    mut ctx: TextContext,
+) -> CrawlReport {
+    let match_index = LocalMatchIndex::build(local);
+    let mut order: Vec<usize> = (0..local.len()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let mut report = CrawlReport::default();
+    let mut covered = vec![false; local.len()];
+    let uncovered_only: Vec<bool> = vec![true; local.len()];
+    let k = iface.k();
+
+    for &i in &order {
+        if report.steps.len() >= budget {
+            break;
+        }
+        let doc = local.doc(i);
+        if doc.is_empty() {
+            continue; // nothing to ask about
+        }
+        let keywords = Query::from_document(doc).render(&ctx);
+        let Ok(page) = iface.search(&keywords) else { break };
+        for r in &page.records {
+            let rdoc = ctx.doc_of_fields(&r.fields);
+            for d in match_index.find_matches(&rdoc, matcher, &uncovered_only) {
+                if !covered[d] {
+                    covered[d] = true;
+                    report.enriched.push(EnrichedPair {
+                        local: d,
+                        external: r.external_id,
+                        payload: r.payload.clone(),
+                        hidden_fields: r.fields.clone(),
+                    });
+                }
+            }
+        }
+        report.steps.push(CrawlStep {
+            keywords,
+            returned: page.records.iter().map(|r| r.external_id).collect(),
+            full_page: page.is_full(k),
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_hidden::{HiddenDbBuilder, HiddenRecord, Metered};
+    use smartcrawl_text::Record;
+
+    fn world() -> (TextContext, LocalDb, smartcrawl_hidden::HiddenDb) {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(
+            vec![
+                Record::from(["thai noodle house"]),
+                Record::from(["jade noodle house"]),
+                Record::from(["golden dragon palace"]),
+            ],
+            &mut ctx,
+        );
+        let hidden = HiddenDbBuilder::new()
+            .k(3)
+            .records([
+                HiddenRecord::new(0, Record::from(["thai noodle house"]), vec![], 2.0),
+                HiddenRecord::new(1, Record::from(["jade noodle house"]), vec![], 1.0),
+            ])
+            .build();
+        (ctx, local, hidden)
+    }
+
+    #[test]
+    fn covers_one_record_per_matching_query() {
+        let (ctx, local, hidden) = world();
+        let mut iface = Metered::new(&hidden, None);
+        let report = naive_crawl(&local, &mut iface, 3, Matcher::Exact, 1, ctx);
+        assert_eq!(report.queries_issued(), 3);
+        // Two of the three records exist in H; the third's query returns
+        // nothing.
+        assert_eq!(report.covered_claimed(), 2);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (ctx, local, hidden) = world();
+        let mut iface = Metered::new(&hidden, None);
+        let report = naive_crawl(&local, &mut iface, 1, Matcher::Exact, 1, ctx);
+        assert_eq!(report.queries_issued(), 1);
+        assert!(report.covered_claimed() <= 1);
+    }
+
+    #[test]
+    fn data_error_breaks_the_specific_query() {
+        // "Lotus of Siam 12345": the bogus keyword poisons the conjunctive
+        // query (paper §1's motivating example).
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(vec![Record::from(["lotus siam 12345"])], &mut ctx);
+        let hidden = HiddenDbBuilder::new()
+            .k(5)
+            .records([HiddenRecord::new(0, Record::from(["lotus siam"]), vec![], 1.0)])
+            .build();
+        let mut iface = Metered::new(&hidden, None);
+        let report = naive_crawl(&local, &mut iface, 1, Matcher::Exact, 1, ctx);
+        assert_eq!(report.covered_claimed(), 0);
+        assert!(report.steps[0].returned.is_empty());
+    }
+
+    #[test]
+    fn order_is_deterministic_per_seed() {
+        let (ctx, local, hidden) = world();
+        let mut iface = Metered::new(&hidden, None);
+        let a = naive_crawl(&local, &mut iface, 3, Matcher::Exact, 5, ctx);
+        let (ctx2, local2, _) = world();
+        let mut iface2 = Metered::new(&hidden, None);
+        let b = naive_crawl(&local2, &mut iface2, 3, Matcher::Exact, 5, ctx2);
+        let ka: Vec<_> = a.steps.iter().map(|s| s.keywords.clone()).collect();
+        let kb: Vec<_> = b.steps.iter().map(|s| s.keywords.clone()).collect();
+        assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,297 @@
+//! SmartCrawl and IdealCrawl drivers (paper §3, Algorithms 1–4).
+
+use crate::context::TextContext;
+use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
+use crate::local::LocalDb;
+use crate::pool::{PoolConfig, QueryPool};
+use crate::sample::SampleIndex;
+use crate::select::engine::Engine;
+use crate::select::Strategy;
+use smartcrawl_hidden::{HiddenDb, SearchInterface};
+use smartcrawl_match::Matcher;
+use smartcrawl_sampler::HiddenSample;
+
+/// Configuration of a SmartCrawl run.
+#[derive(Debug, Clone)]
+pub struct SmartCrawlConfig {
+    /// Query budget `b`.
+    pub budget: usize,
+    /// Selection strategy (Simple, Bound, or Est — for Ideal use
+    /// [`ideal_crawl`]).
+    pub strategy: Strategy,
+    /// Entity-resolution policy.
+    pub matcher: Matcher,
+    /// Query-pool generation parameters.
+    pub pool: PoolConfig,
+    /// §5.3 odds ratio ω for the overflow model (1.0 = the paper's
+    /// uniform-draw assumption).
+    pub omega: f64,
+}
+
+impl Default for SmartCrawlConfig {
+    fn default() -> Self {
+        Self {
+            budget: 1000,
+            strategy: Strategy::est_biased(),
+            matcher: Matcher::Exact,
+            pool: PoolConfig::default(),
+            omega: 1.0,
+        }
+    }
+}
+
+/// Configuration of an IdealCrawl run.
+#[derive(Debug, Clone)]
+pub struct IdealCrawlConfig {
+    /// Query budget `b`.
+    pub budget: usize,
+    /// Entity-resolution policy.
+    pub matcher: Matcher,
+    /// Query-pool generation parameters (IdealCrawl shares SmartCrawl's
+    /// pool, per Appendix C).
+    pub pool: PoolConfig,
+}
+
+/// Runs the SmartCrawl framework: pool generation, then iterative
+/// benefit-driven selection until the budget or the local database is
+/// exhausted (§3).
+///
+/// `ctx` must be the context `local` was built with (the pool, the sample
+/// index, and page matching all share its vocabulary).
+pub fn smart_crawl<I: SearchInterface>(
+    local: &LocalDb,
+    sample: &HiddenSample,
+    iface: &mut I,
+    cfg: &SmartCrawlConfig,
+    mut ctx: TextContext,
+) -> CrawlReport {
+    assert!(
+        !matches!(cfg.strategy, Strategy::Ideal),
+        "QSel-Ideal needs oracle access; use ideal_crawl"
+    );
+    let pool = QueryPool::generate(local, &cfg.pool);
+    let sample_index = SampleIndex::build(sample, &mut ctx);
+    let engine = Engine::new(
+        local,
+        &sample_index,
+        pool,
+        cfg.strategy,
+        cfg.matcher,
+        iface.k(),
+        cfg.omega,
+        None,
+        ctx,
+    );
+    drive(engine, iface, cfg.budget)
+}
+
+/// Runs IdealCrawl: the same pool, but query selection uses *true*
+/// benefits obtained by evaluating queries for free against the hidden
+/// database (the "chicken-and-egg" oracle of Algorithm 1). Only possible
+/// against a simulator; used as the upper bound in every experiment.
+pub fn ideal_crawl<I: SearchInterface>(
+    local: &LocalDb,
+    iface: &mut I,
+    oracle: &HiddenDb,
+    cfg: &IdealCrawlConfig,
+    ctx: TextContext,
+) -> CrawlReport {
+    let pool = QueryPool::generate(local, &cfg.pool);
+    let engine = Engine::new(
+        local,
+        &SampleIndex::empty(),
+        pool,
+        Strategy::Ideal,
+        cfg.matcher,
+        iface.k(),
+        1.0,
+        Some(oracle),
+        ctx,
+    );
+    drive(engine, iface, cfg.budget)
+}
+
+/// The shared issue–observe–update loop.
+fn drive<I: SearchInterface>(
+    mut engine: Engine<'_>,
+    iface: &mut I,
+    budget: usize,
+) -> CrawlReport {
+    let mut report = CrawlReport::default();
+    let k = iface.k();
+    while report.steps.len() < budget && engine.live_count() > 0 {
+        let Some((qid, _prio)) = engine.select_next() else {
+            break; // pool exhausted
+        };
+        let keywords = engine.render(qid);
+        let Ok(page) = iface.search(&keywords) else {
+            break; // interface budget exhausted
+        };
+        let outcome = engine.process(qid, &page.records);
+        report.records_removed += outcome.removed;
+        for (local_idx, page_idx) in outcome.newly_covered {
+            report.enriched.push(EnrichedPair {
+                local: local_idx,
+                external: page.records[page_idx].external_id,
+                payload: page.records[page_idx].payload.clone(),
+                hidden_fields: page.records[page_idx].fields.clone(),
+            });
+        }
+        report.steps.push(CrawlStep {
+            keywords,
+            returned: page.records.iter().map(|r| r.external_id).collect(),
+            full_page: page.is_full(k),
+        });
+    }
+    report.selection = engine.stats;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_hidden::{HiddenDbBuilder, HiddenRecord, Metered};
+    use smartcrawl_sampler::bernoulli_sample;
+    use smartcrawl_text::Record;
+
+    fn world() -> (TextContext, LocalDb, HiddenDb) {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(
+            vec![
+                Record::from(["thai noodle house"]),
+                Record::from(["jade noodle house"]),
+                Record::from(["thai house"]),
+                Record::from(["golden steak grill"]),
+            ],
+            &mut ctx,
+        );
+        let hidden = HiddenDbBuilder::new()
+            .k(2)
+            .records([
+                HiddenRecord::new(0, Record::from(["thai noodle house"]), vec!["4.5".into()], 5.0),
+                HiddenRecord::new(1, Record::from(["jade noodle house"]), vec!["4.0".into()], 4.0),
+                HiddenRecord::new(2, Record::from(["thai house"]), vec!["3.9".into()], 3.0),
+                HiddenRecord::new(3, Record::from(["golden steak grill"]), vec!["4.8".into()], 2.0),
+                HiddenRecord::new(4, Record::from(["noodle bar"]), vec!["3.0".into()], 1.0),
+            ])
+            .build();
+        (ctx, local, hidden)
+    }
+
+    #[test]
+    fn smart_crawl_covers_everything_with_enough_budget() {
+        let (ctx, local, hidden) = world();
+        let sample = bernoulli_sample(&hidden, 0.4, 9);
+        let mut iface = Metered::new(&hidden, Some(10));
+        let cfg = SmartCrawlConfig {
+            budget: 10,
+            strategy: Strategy::est_biased(),
+            matcher: Matcher::Exact,
+            pool: PoolConfig { min_support: 2, max_len: 2, seed: 3 },
+            omega: 1.0,
+        };
+        let report = smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+        assert_eq!(report.covered_claimed(), 4, "steps: {:?}", report.steps);
+        // Enrichment payloads came through.
+        assert!(report.enriched.iter().all(|e| !e.payload.is_empty()));
+    }
+
+    #[test]
+    fn smart_crawl_respects_budget() {
+        let (ctx, local, hidden) = world();
+        let sample = bernoulli_sample(&hidden, 0.4, 9);
+        let mut iface = Metered::new(&hidden, None);
+        let cfg = SmartCrawlConfig { budget: 1, ..Default::default() };
+        let report = smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+        assert_eq!(report.queries_issued(), 1);
+        assert_eq!(iface.queries_issued(), 1);
+    }
+
+    #[test]
+    fn smart_crawl_stops_on_interface_budget() {
+        let (ctx, local, hidden) = world();
+        let sample = bernoulli_sample(&hidden, 0.4, 9);
+        let mut iface = Metered::new(&hidden, Some(2));
+        let cfg = SmartCrawlConfig { budget: 100, ..Default::default() };
+        let report = smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+        assert_eq!(report.queries_issued(), 2);
+    }
+
+    #[test]
+    fn ideal_crawl_is_at_least_as_good_with_same_budget() {
+        let (ctx, local, hidden) = world();
+        let b = 2;
+        let mut iface = Metered::new(&hidden, None);
+        let ideal = ideal_crawl(
+            &local,
+            &mut iface,
+            &hidden,
+            &IdealCrawlConfig {
+                budget: b,
+                matcher: Matcher::Exact,
+                pool: PoolConfig { min_support: 2, max_len: 2, seed: 3 },
+            },
+            ctx,
+        );
+        // With k = 2, two ideal queries cover ≥ 3 records here ("noodle
+        // house" covers two, "thai house"/naive covers one more).
+        assert!(ideal.covered_claimed() >= 3, "ideal covered {}", ideal.covered_claimed());
+        // The oracle evaluation must not consume metered budget.
+        assert_eq!(iface.queries_issued(), ideal.queries_issued());
+    }
+
+    #[test]
+    #[should_panic(expected = "use ideal_crawl")]
+    fn smart_crawl_rejects_ideal_strategy() {
+        let (ctx, local, hidden) = world();
+        let sample = bernoulli_sample(&hidden, 0.4, 9);
+        let mut iface = Metered::new(&hidden, None);
+        let cfg = SmartCrawlConfig { strategy: Strategy::Ideal, ..Default::default() };
+        smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+    }
+
+    #[test]
+    fn fuzzy_matcher_covers_drifted_records() {
+        // Two local records each carry one extra keyword relative to the
+        // hidden text. Any keyword pair from the shared 12 words has
+        // |q(D)| = 2 — strictly the largest benefit — so it is issued
+        // first and fuzzily covers both records (J = 12/13 ≈ 0.92 ≥ 0.9).
+        let mut ctx = TextContext::new();
+        let shared: Vec<String> = (0..12).map(|i| format!("word{i}")).collect();
+        let local = LocalDb::build(
+            vec![
+                Record::from([format!("{} extraone", shared.join(" "))]),
+                Record::from([format!("{} extratwo", shared.join(" "))]),
+            ],
+            &mut ctx,
+        );
+        let hidden = HiddenDbBuilder::new()
+            .k(5)
+            .records([HiddenRecord::new(0, Record::from([shared.join(" ")]), vec![], 1.0)])
+            .build();
+        let sample = bernoulli_sample(&hidden, 1.0, 0);
+        let mut iface = Metered::new(&hidden, None);
+        let cfg = SmartCrawlConfig {
+            budget: 1,
+            strategy: Strategy::est_biased(),
+            matcher: Matcher::Jaccard { threshold: 0.9 },
+            pool: PoolConfig { min_support: 2, max_len: 2, seed: 1 },
+            omega: 1.0,
+        };
+        let report = smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+        assert_eq!(report.covered_claimed(), 2, "steps: {:?}", report.steps);
+        // An exact matcher would have covered nothing.
+        let mut ctx2 = TextContext::new();
+        let local2 = LocalDb::build(
+            vec![
+                Record::from([format!("{} extraone", shared.join(" "))]),
+                Record::from([format!("{} extratwo", shared.join(" "))]),
+            ],
+            &mut ctx2,
+        );
+        let mut iface2 = Metered::new(&hidden, None);
+        let exact_cfg = SmartCrawlConfig { matcher: Matcher::Exact, ..cfg };
+        let exact = smart_crawl(&local2, &sample, &mut iface2, &exact_cfg, ctx2);
+        assert_eq!(exact.covered_claimed(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fisher's noncentral hypergeometric mean (paper §5.3).
+//!
+//! The paper models an overflowing query's benefit as the number of black
+//! balls (top-k records) in a random draw of `n = |q(D) ∩ q(H)|` balls from
+//! the `N = |q(H)|` matching records. When the draw is *biased* — top-k
+//! records are ω times as likely to belong to the local table as the rest —
+//! the count follows Fisher's noncentral hypergeometric distribution. The
+//! paper sets ω = 1 (users cannot be asked to calibrate ω); this module
+//! implements the general mean so the assumption can be tested (see the
+//! `ablation_omega` binary).
+//!
+//! The mean is computed exactly by accumulating the unnormalized pmf
+//! `w_i ∝ C(m1, i)·C(m2, n−i)·ω^i` over the support via the ratio
+//! recurrence, with periodic rescaling to stay inside f64 range. The
+//! support has at most `min(n, m1) + 1` points, so this is O(k).
+
+/// Mean of Fisher's noncentral hypergeometric distribution with `m1` black
+/// balls, `m2` white balls, `n` draws, and odds ratio `omega` (> 0).
+///
+/// `omega = 1` reduces to the central hypergeometric mean `n·m1/(m1+m2)`.
+///
+/// # Panics
+/// Panics if `n > m1 + m2` or `omega` is not finite and positive.
+pub fn fisher_nch_mean(m1: usize, m2: usize, n: usize, omega: f64) -> f64 {
+    assert!(n <= m1 + m2, "cannot draw more balls than exist");
+    assert!(omega.is_finite() && omega > 0.0, "omega must be positive and finite");
+    if n == 0 || m1 == 0 {
+        return 0.0;
+    }
+    let lo = n.saturating_sub(m2);
+    let hi = n.min(m1);
+    if lo == hi {
+        return lo as f64;
+    }
+    // Walk i = lo..=hi with w_{i+1} = w_i · ((m1−i)(n−i))/((i+1)(m2−n+i+1)) · ω.
+    let mut w = 1.0f64;
+    let mut sum = 1.0f64;
+    let mut weighted = lo as f64;
+    for i in lo..hi {
+        let ratio = ((m1 - i) as f64 * (n - i) as f64)
+            / ((i + 1) as f64 * (m2 + i + 1 - n) as f64)
+            * omega;
+        w *= ratio;
+        if w > 1e250 || sum > 1e250 {
+            sum /= 1e250;
+            weighted /= 1e250;
+            w /= 1e250;
+        } else if w < 1e-250 && w > 0.0 && sum < 1e-200 {
+            sum *= 1e250;
+            weighted *= 1e250;
+            w *= 1e250;
+        }
+        sum += w;
+        weighted += w * (i + 1) as f64;
+    }
+    weighted / sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact reference via u128 binomials (small instances only).
+    fn reference_mean(m1: usize, m2: usize, n: usize, omega: f64) -> f64 {
+        fn binom(n: usize, k: usize) -> u128 {
+            if k > n {
+                return 0;
+            }
+            let k = k.min(n - k);
+            let mut r: u128 = 1;
+            for i in 0..k {
+                r = r * (n - i) as u128 / (i + 1) as u128;
+            }
+            r
+        }
+        let lo = n.saturating_sub(m2);
+        let hi = n.min(m1);
+        let mut sum = 0.0;
+        let mut weighted = 0.0;
+        for i in lo..=hi {
+            let w = binom(m1, i) as f64 * binom(m2, n - i) as f64 * omega.powi(i as i32);
+            sum += w;
+            weighted += w * i as f64;
+        }
+        weighted / sum
+    }
+
+    #[test]
+    fn omega_one_is_central_hypergeometric() {
+        for (m1, m2, n) in [(4usize, 6usize, 5usize), (12, 28, 15), (100, 900, 50)] {
+            let mean = fisher_nch_mean(m1, m2, n, 1.0);
+            let expect = n as f64 * m1 as f64 / (m1 + m2) as f64;
+            assert!((mean - expect).abs() < 1e-9, "{mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_reference() {
+        for omega in [0.25, 0.5, 1.0, 2.0, 5.0] {
+            for (m1, m2, n) in [(5usize, 7usize, 6usize), (10, 10, 8), (3, 20, 10)] {
+                let got = fisher_nch_mean(m1, m2, n, omega);
+                let expect = reference_mean(m1, m2, n, omega);
+                assert!(
+                    (got - expect).abs() < 1e-9,
+                    "m1={m1} m2={m2} n={n} ω={omega}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_is_monotone_in_omega() {
+        let mut last = 0.0;
+        for omega in [0.1, 0.5, 1.0, 2.0, 10.0, 100.0] {
+            let mean = fisher_nch_mean(10, 30, 12, omega);
+            assert!(mean >= last, "mean must grow with ω");
+            last = mean;
+        }
+    }
+
+    #[test]
+    fn extreme_omegas_approach_the_limits() {
+        // ω → ∞: draws prefer black: mean → min(n, m1).
+        let hi = fisher_nch_mean(10, 30, 12, 1e12);
+        assert!((hi - 10.0).abs() < 1e-6, "got {hi}");
+        // ω → 0: draws avoid black: mean → max(0, n − m2).
+        let lo = fisher_nch_mean(10, 30, 12, 1e-12);
+        assert!(lo < 1e-6, "got {lo}");
+        let forced = fisher_nch_mean(10, 5, 12, 1e-12);
+        assert!((forced - 7.0).abs() < 1e-6, "got {forced}"); // 12−5 forced black
+    }
+
+    #[test]
+    fn degenerate_supports() {
+        assert_eq!(fisher_nch_mean(5, 5, 0, 2.0), 0.0);
+        assert_eq!(fisher_nch_mean(0, 5, 3, 2.0), 0.0);
+        // All balls drawn: mean = m1 exactly.
+        assert_eq!(fisher_nch_mean(4, 6, 10, 3.0), 4.0);
+    }
+
+    #[test]
+    fn large_instances_stay_finite() {
+        let m = fisher_nch_mean(1_000, 99_000, 5_000, 3.0);
+        assert!(m.is_finite() && m > 0.0 && m <= 1_000.0, "got {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "omega must be positive")]
+    fn rejects_bad_omega() {
+        fisher_nch_mean(1, 1, 1, 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Keyword queries.
+//!
+//! A query is a *set* of keywords (paper §2); internally a sorted list of
+//! token ids in the crawl's shared vocabulary. Rendering turns it back into
+//! the keyword strings actually sent through a search interface.
+
+use crate::context::TextContext;
+use smartcrawl_text::{Document, TokenId};
+
+/// A conjunctive keyword query: a sorted set of tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    tokens: Vec<TokenId>,
+}
+
+impl Query {
+    /// Builds a query from tokens (sorted + deduplicated).
+    ///
+    /// # Panics
+    /// Panics if `tokens` is empty: the empty query is meaningless
+    /// (`|q(D)| = 0` queries never enter the pool).
+    pub fn new(mut tokens: Vec<TokenId>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert!(!tokens.is_empty(), "query must have at least one keyword");
+        Self { tokens }
+    }
+
+    /// A query containing every keyword of a document (the NaiveCrawl
+    /// query for that record).
+    pub fn from_document(doc: &Document) -> Self {
+        Self::new(doc.tokens().to_vec())
+    }
+
+    /// The sorted tokens.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Queries are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Renders the keyword strings to send through a search interface.
+    pub fn render(&self, ctx: &TextContext) -> Vec<String> {
+        self.tokens.iter().map(|&t| ctx.vocab.word(t).to_owned()).collect()
+    }
+
+    /// Whether this query's keywords are a superset of `other`'s.
+    pub fn contains_query(&self, other: &Query) -> bool {
+        if other.tokens.len() > self.tokens.len() {
+            return false;
+        }
+        let mut i = 0usize;
+        for &t in &other.tokens {
+            match self.tokens[i..].binary_search(&t) {
+                Ok(p) => i += p + 1,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u32]) -> Query {
+        Query::new(ids.iter().map(|&i| TokenId(i)).collect())
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let query = q(&[3, 1, 3, 2]);
+        assert_eq!(query.tokens(), &[TokenId(1), TokenId(2), TokenId(3)]);
+        assert_eq!(query.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn empty_query_rejected() {
+        Query::new(vec![]);
+    }
+
+    #[test]
+    fn render_round_trips_through_vocab() {
+        let mut ctx = TextContext::new();
+        let d = ctx.doc("noodle house");
+        let query = Query::from_document(&d);
+        let mut words = query.render(&ctx);
+        words.sort();
+        assert_eq!(words, vec!["house".to_owned(), "noodle".to_owned()]);
+    }
+
+    #[test]
+    fn contains_query_subset_test() {
+        assert!(q(&[1, 2, 3]).contains_query(&q(&[1, 3])));
+        assert!(q(&[1, 2]).contains_query(&q(&[1, 2])));
+        assert!(!q(&[1, 2]).contains_query(&q(&[1, 2, 3])));
+        assert!(!q(&[1, 2]).contains_query(&q(&[3])));
+    }
+}

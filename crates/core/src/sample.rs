@@ -1,0 +1,130 @@
+//! The crawler-side view of a hidden-database sample (paper §5).
+//!
+//! QSel-Est's estimators need two statistics per query: the sample
+//! frequency `|q(Hs)|` and the matched intersection `|q(D) ∩̃ q(Hs)|`.
+//! [`SampleIndex`] tokenizes the sample into the crawl vocabulary, indexes
+//! it, and precomputes, for every local record, whether it matches some
+//! sample record — so both statistics reduce to counting.
+
+use crate::context::TextContext;
+use crate::local::LocalDb;
+use smartcrawl_index::InvertedIndex;
+use smartcrawl_match::{Matcher, PageIndex};
+use smartcrawl_sampler::HiddenSample;
+use smartcrawl_text::{Document, TokenId};
+
+/// Indexed hidden-database sample `Hs` with its sampling ratio θ.
+#[derive(Debug)]
+pub struct SampleIndex {
+    docs: Vec<Document>,
+    index: InvertedIndex,
+    theta: f64,
+}
+
+impl SampleIndex {
+    /// Tokenizes and indexes a sample into the crawl vocabulary.
+    pub fn build(sample: &HiddenSample, ctx: &mut TextContext) -> Self {
+        let docs: Vec<Document> =
+            sample.records.iter().map(|r| ctx.doc_of_fields(&r.fields)).collect();
+        let index = InvertedIndex::build(&docs, ctx.vocab.len());
+        Self { docs, index, theta: sample.theta }
+    }
+
+    /// An empty sample (θ = 0) — QSel-Est degenerates gracefully to
+    /// QSel-Simple behaviour without one.
+    pub fn empty() -> Self {
+        Self { docs: Vec::new(), index: InvertedIndex::build(&[], 0), theta: 0.0 }
+    }
+
+    /// Sample size `|Hs|`.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Sampling ratio θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// `|q(Hs)|`: how many sample records satisfy the query.
+    pub fn frequency(&self, query: &[TokenId]) -> usize {
+        self.index.frequency(query)
+    }
+
+    /// For every local record, whether it matches some sample record under
+    /// `matcher` (the per-record ingredient of `|q(D) ∩̃ q(Hs)|`).
+    pub fn local_matches(&self, local: &LocalDb, matcher: Matcher) -> Vec<bool> {
+        if self.docs.is_empty() {
+            return vec![false; local.len()];
+        }
+        let page = PageIndex::build(self.docs.clone());
+        (0..local.len())
+            .map(|i| page.find_match(local.doc(i), matcher).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_hidden::{ExternalId, Retrieved};
+    use smartcrawl_text::Record;
+
+    fn sample(fields: &[&str], theta: f64) -> HiddenSample {
+        HiddenSample {
+            records: fields
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| Retrieved {
+                    external_id: ExternalId(i as u64),
+                    fields: vec![f.to_owned()],
+                    payload: vec![],
+                })
+                .collect(),
+            theta,
+        }
+    }
+
+    #[test]
+    fn frequency_counts_satisfying_sample_records() {
+        let mut ctx = TextContext::new();
+        let s = SampleIndex::build(
+            &sample(&["thai house", "steak house", "ramen bar"], 1.0 / 3.0),
+            &mut ctx,
+        );
+        let house = ctx.vocab.get("house").unwrap();
+        let thai = ctx.vocab.get("thai").unwrap();
+        assert_eq!(s.frequency(&[house]), 2);
+        assert_eq!(s.frequency(&[thai, house]), 1);
+        assert_eq!(s.len(), 3);
+        assert!((s.theta() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_matches_flags_matchable_records() {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(
+            vec![Record::from(["thai house"]), Record::from(["noodle palace"])],
+            &mut ctx,
+        );
+        let s = SampleIndex::build(&sample(&["thai house", "ramen bar"], 0.5), &mut ctx);
+        assert_eq!(s.local_matches(&local, Matcher::Exact), vec![true, false]);
+    }
+
+    #[test]
+    fn empty_sample_is_safe() {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(vec![Record::from(["thai house"])], &mut ctx);
+        let s = SampleIndex::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.theta(), 0.0);
+        assert_eq!(s.local_matches(&local, Matcher::Exact), vec![false]);
+        let thai = ctx.vocab.get("thai").unwrap();
+        assert_eq!(s.frequency(&[thai]), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the benefit estimators (Table 1 + §6.2 + §5.3):
+//! numeric hygiene and the bounds every estimate must respect.
+
+use proptest::prelude::*;
+use smartcrawl_core::{fisher_nch_mean, Estimator, EstimatorKind};
+
+fn estimator_strategy() -> impl Strategy<Value = (Estimator, usize)> {
+    (
+        prop_oneof![Just(EstimatorKind::Biased), Just(EstimatorKind::Unbiased)],
+        1usize..500,                       // k
+        prop_oneof![Just(0.0f64), 0.001f64..0.2], // theta
+        1usize..20_000,                    // |D|
+        0usize..2_000,                     // |Hs|
+        prop_oneof![Just(1.0f64), 0.25f64..8.0], // omega
+    )
+        .prop_map(|(kind, k, theta, d, hs, omega)| {
+            let theta = if hs == 0 { 0.0 } else { theta };
+            (Estimator::new(kind, k, theta, d, hs).with_omega(omega), k)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn benefits_are_finite_nonnegative_and_bounded(
+        (est, k) in estimator_strategy(),
+        freq_d in 0usize..5_000,
+        freq_hs in 0usize..500,
+        inter_frac in 0.0f64..=1.0,
+    ) {
+        let inter = ((freq_d as f64) * inter_frac) as usize;
+        let b = est.benefit(freq_d, freq_hs, inter);
+        prop_assert!(b.is_finite(), "benefit must be finite");
+        prop_assert!(b >= 0.0, "benefit must be non-negative");
+        // No query can cover more than k records; the biased *solid*
+        // estimator |q(D)| is the paper's deliberate exception (it ignores
+        // the cap; Table 1), so only check the overflow branches.
+        use smartcrawl_core::estimate::QueryType;
+        if est.predict_type(freq_d, freq_hs) == QueryType::Overflowing {
+            prop_assert!(
+                b <= k as f64 + 1e-9,
+                "overflow benefit {b} exceeds k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn biased_benefit_monotone_under_removals(
+        (est, _k) in estimator_strategy(),
+        freq_d in 1usize..2_000,
+        freq_hs in 0usize..300,
+    ) {
+        // As records are removed (freq_d decreases, inter ≤ freq_d), the
+        // biased benefit never increases — required by the lazy queue's
+        // upper-bound property.
+        let b_hi = est.benefit(freq_d, freq_hs, 0);
+        let b_lo = est.benefit(freq_d - (freq_d / 2), freq_hs, 0);
+        if est.kind() == EstimatorKind::Biased {
+            prop_assert!(b_lo <= b_hi + 1e-9, "{b_lo} > {b_hi}");
+        }
+    }
+
+    #[test]
+    fn fisher_mean_is_bounded_by_support(
+        m1 in 0usize..200,
+        m2 in 0usize..200,
+        n_frac in 0.0f64..=1.0,
+        omega in 0.05f64..20.0,
+    ) {
+        let n = (((m1 + m2) as f64) * n_frac) as usize;
+        let mean = fisher_nch_mean(m1, m2, n, omega);
+        let lo = n.saturating_sub(m2) as f64;
+        let hi = n.min(m1) as f64;
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "{mean} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn fisher_mean_omega_one_matches_closed_form(
+        m1 in 1usize..300,
+        m2 in 1usize..300,
+        n_frac in 0.0f64..=1.0,
+    ) {
+        let n = (((m1 + m2) as f64) * n_frac) as usize;
+        let mean = fisher_nch_mean(m1, m2, n, 1.0);
+        let expect = n as f64 * m1 as f64 / (m1 + m2) as f64;
+        prop_assert!((mean - expect).abs() < 1e-6, "{mean} vs {expect}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Error injection and textual drift (paper §7.1.1, `error%`).
+//!
+//! "Suppose error% = 10%. We will randomly select 10% records from D. For
+//! each record, we removed a word, added a new word, and replaced an
+//! existing word with a new word with the probability of 1/3." The same
+//! perturbation, applied to the *hidden* copies, models the data drift of
+//! the Yelp experiment (the snapshot grew stale while Yelp kept updating).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use smartcrawl_text::Record;
+
+/// Which perturbation was applied to a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A word was deleted.
+    Removed,
+    /// A novel word was inserted.
+    Added,
+    /// A word was replaced by a novel word.
+    Replaced,
+}
+
+/// Tallies of applied perturbations, for auditing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorStats {
+    /// Records that lost a word.
+    pub removed: usize,
+    /// Records that gained a novel word.
+    pub added: usize,
+    /// Records with a word swapped for a novel one.
+    pub replaced: usize,
+}
+
+impl ErrorStats {
+    /// Total perturbed records.
+    pub fn total(&self) -> usize {
+        self.removed + self.added + self.replaced
+    }
+}
+
+/// A generator of words guaranteed not to collide with corpus vocabulary.
+fn novel_word(rng: &mut StdRng) -> String {
+    format!("{}q{}", crate::names::synth_word(rng.gen_range(0..1_000_000)), rng.gen_range(0..100))
+}
+
+/// Applies one random perturbation to `record`; returns what was done, or
+/// `None` if the record had no usable words.
+pub fn perturb_record(record: &mut Record, rng: &mut StdRng) -> Option<ErrorKind> {
+    // Collect (field, word count) for fields with at least one word.
+    let candidates: Vec<usize> = record
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.trim().is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let field = candidates[rng.gen_range(0..candidates.len())];
+    let mut words: Vec<String> =
+        record.fields()[field].split_whitespace().map(str::to_owned).collect();
+    let kind = match rng.gen_range(0..3) {
+        0 if words.len() >= 2 => {
+            let i = rng.gen_range(0..words.len());
+            words.remove(i);
+            ErrorKind::Removed
+        }
+        1 => {
+            let i = rng.gen_range(0..=words.len());
+            words.insert(i, novel_word(rng));
+            ErrorKind::Added
+        }
+        _ => {
+            let i = rng.gen_range(0..words.len());
+            words[i] = novel_word(rng);
+            ErrorKind::Replaced
+        }
+    };
+    record.fields_mut()[field] = words.join(" ");
+    Some(kind)
+}
+
+/// Perturbs `error_pct` (0.0–1.0) of `records`, chosen uniformly at random,
+/// one perturbation each. Deterministic under `seed`.
+pub fn inject_errors(records: &mut [Record], error_pct: f64, seed: u64) -> ErrorStats {
+    assert!((0.0..=1.0).contains(&error_pct), "error_pct must be a fraction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = records.len();
+    let count = ((n as f64) * error_pct).round() as usize;
+    let chosen = rand::seq::index::sample(&mut rng, n, count.min(n));
+    let mut stats = ErrorStats::default();
+    for i in chosen.iter() {
+        match perturb_record(&mut records[i], &mut rng) {
+            Some(ErrorKind::Removed) => stats.removed += 1,
+            Some(ErrorKind::Added) => stats.added += 1,
+            Some(ErrorKind::Replaced) => stats.replaced += 1,
+            None => {}
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::from([format!("alpha beta gamma delta {i}"), "phoenix".to_owned()]))
+            .collect()
+    }
+
+    #[test]
+    fn injects_requested_fraction() {
+        let mut rs = records(200);
+        let stats = inject_errors(&mut rs, 0.25, 1);
+        assert_eq!(stats.total(), 50);
+    }
+
+    #[test]
+    fn zero_pct_changes_nothing() {
+        let mut rs = records(50);
+        let before = rs.clone();
+        let stats = inject_errors(&mut rs, 0.0, 2);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(rs, before);
+    }
+
+    #[test]
+    fn full_pct_touches_every_record() {
+        let mut rs = records(40);
+        let before = rs.clone();
+        let stats = inject_errors(&mut rs, 1.0, 3);
+        assert_eq!(stats.total(), 40);
+        let changed = rs.iter().zip(&before).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, 40);
+    }
+
+    #[test]
+    fn perturbation_kinds_all_occur() {
+        let mut rs = records(300);
+        let stats = inject_errors(&mut rs, 1.0, 4);
+        assert!(stats.removed > 0, "{stats:?}");
+        assert!(stats.added > 0, "{stats:?}");
+        assert!(stats.replaced > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = records(50);
+        let mut b = records(50);
+        inject_errors(&mut a, 0.5, 7);
+        inject_errors(&mut b, 0.5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_word_records_are_never_emptied() {
+        let mut rs: Vec<Record> = (0..100).map(|_| Record::from(["solo"])).collect();
+        inject_errors(&mut rs, 1.0, 5);
+        for r in &rs {
+            assert!(!r.fields()[0].trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_record_is_skipped_gracefully() {
+        let mut r = Record::from([""]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(perturb_record(&mut r, &mut rng), None);
+    }
+}

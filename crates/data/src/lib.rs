@@ -1,0 +1,38 @@
+//! Synthetic workloads reproducing the paper's experimental setups (§7.1).
+//!
+//! The paper evaluates on (a) a simulated hidden database built from the
+//! DBLP dump and (b) Yelp's live hidden database over Arizona businesses.
+//! Neither corpus is available offline, so this crate generates synthetic
+//! universes that reproduce the *statistical structure* the algorithms
+//! interact with — Zipfian keyword distributions, shared venue/author
+//! tokens, entity overlap between local and hidden databases, textual
+//! drift — while keeping every run deterministic under a seed.
+//!
+//! The construction protocol follows §7.1.1 exactly:
+//!
+//! * the local database `D` is drawn from a "community" subpopulation
+//!   (papers in 10 database venues / businesses in one state);
+//! * the hidden database is `(H − D) ∪ (H ∩ D)` with `H − D` drawn from the
+//!   whole universe;
+//! * `ΔD` records are added to `D` but withheld from `H`;
+//! * `error%` of local records get one word removed / added / replaced
+//!   (probability 1/3 each).
+//!
+//! Ground truth (which local record refers to which entity) never leaks to
+//! the crawler; the evaluation harness uses it to score coverage, exactly
+//! like the paper's hand-labeled Yelp data.
+
+pub mod businesses;
+pub mod errors;
+pub mod names;
+pub mod publications;
+pub mod scenario;
+pub mod zipf;
+
+pub use scenario::{Domain, GroundTruth, Scenario, ScenarioConfig};
+pub use zipf::Zipf;
+
+/// The identity of a real-world entity, shared between its local and hidden
+/// representations. Evaluation-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u64);

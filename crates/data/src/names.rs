@@ -1,0 +1,170 @@
+//! Deterministic word, name, and place pools for the generators.
+//!
+//! Research-topic vocabulary, author names, venues, cuisines, and cities
+//! are produced from fixed seed lists plus a syllable-based synthesizer, so
+//! vocabularies of arbitrary size are available without shipping corpora.
+
+/// The ten "database community" venues the paper filters DBLP by (§7.1.1).
+pub const COMMUNITY_VENUES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "CIKM", "CIDR", "KDD", "WWW", "AAAI", "NIPS", "IJCAI",
+];
+
+/// Additional venues forming the long tail of the universe.
+pub const OTHER_VENUES: &[&str] = &[
+    "SIGIR", "SOSP", "OSDI", "PODC", "PODS", "EDBT", "ICML", "ECML", "COLT", "STOC", "FOCS",
+    "SODA", "CHI", "UIST", "INFOCOM", "SIGCOMM", "NSDI", "EUROSYS", "MIDDLEWARE", "ICSE", "FSE",
+    "PLDI", "POPL", "CAV", "ISCA", "MICRO", "ASPLOS", "HPCA", "DAC", "USENIX",
+];
+
+/// Research-topic root words used in publication titles.
+pub const TOPIC_ROOTS: &[&str] = &[
+    "query", "database", "index", "learning", "distributed", "graph", "stream", "parallel",
+    "optimization", "transaction", "storage", "memory", "network", "search", "ranking",
+    "clustering", "classification", "sampling", "estimation", "crawling", "integration",
+    "cleaning", "entity", "resolution", "knowledge", "semantic", "probabilistic", "scalable",
+    "efficient", "adaptive", "incremental", "approximate", "secure", "privacy", "cloud", "spatial",
+    "temporal", "relational", "keyword", "schema", "workload", "cache", "compression", "join",
+    "aggregation", "partition", "replication", "consistency", "concurrency", "recovery", "mining",
+    "pattern", "sequence", "text", "web", "social", "recommendation", "prediction", "inference",
+    "embedding", "neural", "deep", "reinforcement", "transfer", "federated", "benchmark",
+    "evaluation", "analysis", "processing", "system", "framework", "engine", "model", "algorithm",
+    "structure", "selection", "pruning", "filtering", "matching", "similarity", "nearest",
+    "neighbor", "dimension", "feature", "kernel", "tensor", "matrix", "vector", "sparse", "dense",
+    "online", "offline", "dynamic", "static", "hybrid", "robust", "fair", "explainable",
+];
+
+/// First names for synthetic authors and business owners.
+pub const FIRST_NAMES: &[&str] = &[
+    "wei", "jun", "ming", "anna", "boris", "carla", "david", "elena", "felix", "grace", "hiro",
+    "irene", "jamal", "karen", "leon", "maria", "nadia", "omar", "priya", "quentin", "rosa",
+    "samir", "tanya", "umar", "vera", "walter", "xiang", "yuki", "zara", "alan", "bella", "carlos",
+    "diana", "erik", "fatima", "george", "hana", "ivan", "julia", "kevin", "lena", "marco",
+    "nina", "oscar", "paula", "raj", "sofia", "tom", "ursula", "victor",
+];
+
+/// Surname roots for synthetic authors.
+pub const LAST_NAMES: &[&str] = &[
+    "wang", "li", "zhang", "chen", "liu", "smith", "johnson", "brown", "garcia", "miller",
+    "davis", "martinez", "lopez", "gonzalez", "wilson", "anderson", "taylor", "thomas", "moore",
+    "jackson", "martin", "lee", "thompson", "white", "harris", "clark", "lewis", "walker", "hall",
+    "young", "king", "wright", "scott", "green", "adams", "baker", "nelson", "hill", "campbell",
+    "mitchell", "roberts", "carter", "phillips", "evans", "turner", "torres", "parker", "collins",
+    "edwards", "stewart", "sanchez", "morris", "rogers", "reed", "cook", "morgan", "bell",
+    "murphy", "bailey", "rivera", "cooper", "richardson", "cox", "howard", "ward",
+];
+
+/// Cuisine words for business names.
+pub const CUISINES: &[&str] = &[
+    "thai", "sushi", "ramen", "noodle", "taco", "burrito", "pizza", "pasta", "burger", "steak",
+    "seafood", "curry", "dim", "pho", "bbq", "kebab", "falafel", "bagel", "donut", "waffle",
+    "pancake", "salad", "soup", "sandwich", "grill", "tapas", "gelato", "espresso", "boba",
+    "smoothie",
+];
+
+/// Venue-type words for business names.
+pub const BUSINESS_TYPES: &[&str] = &[
+    "house", "kitchen", "bar", "cafe", "bistro", "diner", "grill", "palace", "garden", "express",
+    "corner", "shack", "lounge", "tavern", "cantina", "eatery", "room", "spot", "joint", "works",
+];
+
+/// Adjectives for business names.
+pub const BUSINESS_ADJECTIVES: &[&str] = &[
+    "golden", "lucky", "royal", "sunny", "happy", "little", "grand", "silver", "red", "blue",
+    "green", "old", "new", "famous", "original", "crazy", "cozy", "rustic", "urban", "desert",
+];
+
+/// Street-name words for synthetic addresses.
+pub const STREET_NAMES: &[&str] = &[
+    "cactus", "mesquite", "saguaro", "palo", "verde", "ocotillo", "camelback", "indian", "school",
+    "thomas", "mcdowell", "bell", "union", "hills", "baseline", "southern", "broadway", "apache",
+    "pecos", "chandler", "elliot", "warner", "ray", "germann", "queen", "ironwood", "signal",
+    "butte", "dynamite", "carefree", "cave", "creek", "greenway", "thunderbird", "cholla",
+    "shea", "doubletree", "lincoln", "osborn", "oak", "pima", "hayden", "rural", "dobson",
+    "alma", "gilbert", "higley", "recker", "power", "sossaman",
+];
+
+/// Street-type suffixes for synthetic addresses.
+pub const STREET_TYPES: &[&str] = &["st", "ave", "rd", "blvd", "dr", "ln", "way", "pkwy"];
+
+/// Arizona cities (the paper's Yelp dataset covers Arizona).
+pub const AZ_CITIES: &[&str] = &[
+    "phoenix", "tucson", "mesa", "chandler", "scottsdale", "glendale", "gilbert", "tempe",
+    "peoria", "surprise", "yuma", "avondale", "flagstaff", "goodyear", "buckeye", "casa grande",
+    "maricopa", "prescott", "sedona", "kingman", "bullhead", "apache junction", "queen creek",
+    "florence", "payson",
+];
+
+/// Synthesizes a pronounceable pseudo-word for index `i`, used to extend
+/// vocabularies beyond the seed lists. Deterministic and collision-free:
+/// the digit-free syllable encoding is injective in `i`.
+pub fn synth_word(i: usize) -> String {
+    const CONS: &[u8] = b"bcdfgklmnprstvz";
+    const VOWS: &[u8] = b"aeiou";
+    let mut n = i;
+    let mut w = String::new();
+    loop {
+        let c = CONS[n % CONS.len()];
+        n /= CONS.len();
+        let v = VOWS[n % VOWS.len()];
+        n /= VOWS.len();
+        w.push(c as char);
+        w.push(v as char);
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    w
+}
+
+/// The `rank`-th word of an extended topic vocabulary: seed roots first,
+/// then synthesized words (prefixed to avoid colliding with real roots).
+pub fn topic_word(rank: usize) -> String {
+    if rank < TOPIC_ROOTS.len() {
+        TOPIC_ROOTS[rank].to_owned()
+    } else {
+        format!("{}x", synth_word(rank - TOPIC_ROOTS.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn community_venues_match_the_paper() {
+        assert_eq!(COMMUNITY_VENUES.len(), 10);
+        assert!(COMMUNITY_VENUES.contains(&"SIGMOD"));
+        assert!(COMMUNITY_VENUES.contains(&"VLDB"));
+    }
+
+    #[test]
+    fn synth_words_are_unique_and_nonempty() {
+        let words: HashSet<String> = (0..5000).map(synth_word).collect();
+        assert_eq!(words.len(), 5000);
+        assert!(words.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn synth_words_are_alphabetic() {
+        for i in [0, 1, 14, 15, 74, 75, 1000, 123_456] {
+            assert!(synth_word(i).chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn topic_words_extend_roots_without_collision() {
+        let n = TOPIC_ROOTS.len() + 2000;
+        let words: HashSet<String> = (0..n).map(topic_word).collect();
+        assert_eq!(words.len(), n);
+    }
+
+    #[test]
+    fn seed_lists_have_no_duplicates() {
+        for list in [TOPIC_ROOTS, FIRST_NAMES, LAST_NAMES, CUISINES, BUSINESS_TYPES, AZ_CITIES] {
+            let set: HashSet<&&str> = list.iter().collect();
+            assert_eq!(set.len(), list.len());
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! DBLP-like publication universe (paper §7.1.1).
+//!
+//! The simulated hidden database in the paper is built from the DBLP dump:
+//! the local database is drawn from papers of "database community" authors
+//! (ten listed venues), the hidden database mixes those with publications
+//! from the whole corpus, and the search engine indexes title + venue +
+//! authors and ranks by year. This generator reproduces that structure
+//! with synthetic text: Zipfian title vocabulary, a venue skew between the
+//! ten community venues and a long tail, and shared author-name pools.
+
+use crate::names::{
+    topic_word, COMMUNITY_VENUES, FIRST_NAMES, LAST_NAMES, OTHER_VENUES,
+};
+use crate::scenario::Entity;
+use crate::zipf::Zipf;
+use crate::EntityId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Size of the Zipfian title vocabulary.
+pub const TITLE_VOCAB: usize = 4000;
+
+/// Generator state for publication entities.
+#[derive(Debug)]
+pub struct PublicationGen {
+    rng: StdRng,
+    title_zipf: Zipf,
+    last_zipf: Zipf,
+    next_id: u64,
+}
+
+impl PublicationGen {
+    /// Creates a deterministic generator.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            title_zipf: Zipf::new(TITLE_VOCAB, 1.05),
+            last_zipf: Zipf::new(LAST_NAMES.len(), 0.8),
+            next_id: 0,
+        }
+    }
+
+    fn title(&mut self) -> String {
+        let len = self.rng.gen_range(4..=10);
+        let mut words: Vec<String> = Vec::with_capacity(len);
+        let mut guard = 0;
+        while words.len() < len && guard < 100 {
+            guard += 1;
+            let w = topic_word(self.title_zipf.sample(&mut self.rng));
+            if !words.contains(&w) {
+                words.push(w);
+            }
+        }
+        words.join(" ")
+    }
+
+    fn authors(&mut self) -> String {
+        let n = self.rng.gen_range(1..=3);
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            let first = FIRST_NAMES[self.rng.gen_range(0..FIRST_NAMES.len())];
+            let last = LAST_NAMES[self.last_zipf.sample(&mut self.rng)];
+            names.push(format!("{first} {last}"));
+        }
+        names.join(" ")
+    }
+
+    /// Generates one publication. `community = Some(true)` forces a
+    /// community venue, `Some(false)` forces the long tail, `None` draws
+    /// the venue from the universe mix (≈ 25% community).
+    pub fn entity(&mut self, community: Option<bool>) -> Entity {
+        self.entity_in_years(community, 1970, 2018)
+    }
+
+    /// Like [`PublicationGen::entity`] with a restricted year range — used
+    /// to correlate the hidden ranking (by year) with local membership for
+    /// the ω ablation (§5.3's biased-draw model).
+    pub fn entity_in_years(&mut self, community: Option<bool>, lo: i32, hi: i32) -> Entity {
+        assert!(lo <= hi, "invalid year range");
+        let is_community = community.unwrap_or_else(|| self.rng.gen_bool(0.25));
+        let venue = if is_community {
+            COMMUNITY_VENUES[self.rng.gen_range(0..COMMUNITY_VENUES.len())]
+        } else {
+            OTHER_VENUES[self.rng.gen_range(0..OTHER_VENUES.len())]
+        };
+        let year = self.rng.gen_range(lo..=hi);
+        let citations = {
+            // Heavy-tailed citation counts.
+            let u: f64 = self.rng.gen_range(0.0f64..1.0);
+            ((1.0 / (1.0 - u * 0.999)).powf(1.2) - 1.0) as u64
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Entity {
+            id: EntityId(id),
+            fields: vec![self.title(), venue.to_owned(), self.authors()],
+            payload: vec![citations.to_string(), year.to_string()],
+            rank_signal: year as f64,
+            community: is_community,
+        }
+    }
+
+    /// Generates `n` entities with the universe venue mix.
+    pub fn universe(&mut self, n: usize) -> Vec<Entity> {
+        (0..n).map(|_| self.entity(None)).collect()
+    }
+
+    /// Generates `n` community entities (the population `D` is drawn from).
+    pub fn community(&mut self, n: usize) -> Vec<Entity> {
+        (0..n).map(|_| self.entity(Some(true))).collect()
+    }
+
+    /// Generates `n` *recent* community entities (years 2010–2018), so the
+    /// year-descending hidden ranking favours local records (ω > 1).
+    pub fn community_recent(&mut self, n: usize) -> Vec<Entity> {
+        (0..n).map(|_| self.entity_in_years(Some(true), 2010, 2018)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn entities_have_three_indexed_fields() {
+        let mut g = PublicationGen::new(1);
+        let e = g.entity(None);
+        assert_eq!(e.fields.len(), 3);
+        assert!(!e.fields[0].is_empty());
+    }
+
+    #[test]
+    fn community_flag_matches_venue() {
+        let mut g = PublicationGen::new(2);
+        for _ in 0..200 {
+            let e = g.entity(None);
+            let in_list = COMMUNITY_VENUES.contains(&e.fields[1].as_str());
+            assert_eq!(e.community, in_list);
+        }
+    }
+
+    #[test]
+    fn forced_community_always_community() {
+        let mut g = PublicationGen::new(3);
+        assert!(g.community(50).iter().all(|e| e.community));
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let mut g = PublicationGen::new(4);
+        let es = g.universe(100);
+        let ids: HashSet<u64> = es.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PublicationGen::new(7).universe(20);
+        let b = PublicationGen::new(7).universe(20);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.fields == y.fields));
+    }
+
+    #[test]
+    fn titles_are_zipf_skewed() {
+        // The most frequent title word should dwarf a mid-tail word.
+        let mut g = PublicationGen::new(5);
+        let es = g.universe(2000);
+        let mut counts = std::collections::HashMap::<&str, usize>::new();
+        for e in &es {
+            for w in e.fields[0].split(' ') {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap();
+        let median = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(max > 10 * median, "max {max} median {median}");
+    }
+
+    #[test]
+    fn year_is_in_range_and_used_as_signal() {
+        let mut g = PublicationGen::new(6);
+        for _ in 0..50 {
+            let e = g.entity(None);
+            let y = e.rank_signal as i32;
+            assert!((1970..=2018).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Scenario assembly: turns generated entities into the `(D, H, ground
+//! truth)` triple of one experiment, following the paper's construction
+//! protocol (§7.1.1–§7.1.2).
+
+use crate::businesses::BusinessGen;
+use crate::errors::{inject_errors, perturb_record};
+use crate::publications::PublicationGen;
+use crate::EntityId;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use smartcrawl_hidden::{ExternalId, HiddenDb, HiddenDbBuilder, HiddenRecord, Ranking, SearchMode};
+use smartcrawl_text::Record;
+use std::collections::{HashMap, HashSet};
+
+/// One generated real-world entity, before it is split into local and
+/// hidden representations.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Ground-truth identity.
+    pub id: EntityId,
+    /// Indexed attributes.
+    pub fields: Vec<String>,
+    /// Enrichment attributes (only the hidden side carries them).
+    pub payload: Vec<String>,
+    /// Hidden-database ranking signal (year, review count, …).
+    pub rank_signal: f64,
+    /// Whether the entity belongs to the subpopulation `D` is drawn from.
+    pub community: bool,
+}
+
+/// Which synthetic universe to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// DBLP-like publications (title, venue, authors; ranked by year).
+    Publications,
+    /// Yelp-like Arizona businesses (name, city; ranked by review count).
+    Businesses,
+}
+
+/// Experiment parameters — mirrors the paper's Table 3.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Universe flavour.
+    pub domain: Domain,
+    /// `|H|` (Table 3 default: 100 000).
+    pub hidden_size: usize,
+    /// `|D|`, including the `ΔD` part (default: 10 000).
+    pub local_size: usize,
+    /// `|ΔD| = |D − H|`: local records withheld from `H` (default: 0).
+    pub delta_d: usize,
+    /// Top-`k` result limit (default: 100).
+    pub k: usize,
+    /// Fraction of local records perturbed (Table 3 `error%`, default 0).
+    pub error_pct: f64,
+    /// Fraction of matchable *hidden* copies textually drifted (models the
+    /// stale-snapshot effect of the Yelp experiment; default 0).
+    pub drift_pct: f64,
+    /// Search semantics of the hidden interface.
+    pub mode: SearchMode,
+    /// Hidden ranking function (opaque to the crawler).
+    pub ranking: Ranking,
+    /// Master seed; every derived random choice flows from it.
+    pub seed: u64,
+    /// Restrict local-pool publications to recent years (2010–2018), so a
+    /// year-descending ranking correlates with `D`-membership — the ω > 1
+    /// regime of §5.3. Publications domain only.
+    pub recent_local: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's Table 3 defaults: |H| = 100 000, |D| = 10 000, k = 100,
+    /// ΔD = 0, error% = 0, conjunctive DBLP-style engine ranked by year.
+    pub fn paper_default() -> Self {
+        Self {
+            domain: Domain::Publications,
+            hidden_size: 100_000,
+            local_size: 10_000,
+            delta_d: 0,
+            k: 100,
+            error_pct: 0.0,
+            drift_pct: 0.0,
+            mode: SearchMode::Conjunctive,
+            ranking: Ranking::SignalDesc,
+            seed: 42,
+            recent_local: false,
+        }
+    }
+
+    /// The Yelp-style setup of §7.1.2: a stale 3 000-record snapshot of
+    /// Arizona businesses matched against Yelp's *live* hidden database —
+    /// larger than the snapshot (listings added since the dump) — through
+    /// a k = 50 non-conjunctive interface, with textual drift and closures
+    /// standing in for the years between snapshot and crawl. |H| is sized
+    /// so that the snapshot stays a meaningful fraction of the hidden
+    /// database (the regime where the paper's query sharing pays off on
+    /// Yelp).
+    pub fn yelp_like() -> Self {
+        Self {
+            domain: Domain::Businesses,
+            hidden_size: 60_000,
+            local_size: 3_000,
+            delta_d: 150,
+            k: 50,
+            error_pct: 0.0,
+            drift_pct: 0.30,
+            mode: SearchMode::Disjunctive,
+            ranking: Ranking::SignalDesc,
+            seed: 42,
+            recent_local: false,
+        }
+    }
+
+    /// A small configuration for unit tests and doc examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            domain: Domain::Publications,
+            hidden_size: 500,
+            local_size: 80,
+            delta_d: 8,
+            k: 10,
+            error_pct: 0.0,
+            drift_pct: 0.0,
+            mode: SearchMode::Conjunctive,
+            ranking: Ranking::SignalDesc,
+            seed,
+            recent_local: false,
+        }
+    }
+
+    /// `|D ∩ H|` under this configuration.
+    pub fn matchable(&self) -> usize {
+        self.local_size - self.delta_d
+    }
+}
+
+/// Evaluation-only knowledge: which entity each record refers to.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    local_entities: Vec<EntityId>,
+    external_entity: HashMap<u64, EntityId>,
+    hidden_entities: HashSet<EntityId>,
+    community_entities: HashSet<EntityId>,
+}
+
+impl GroundTruth {
+    /// The entity behind local record `i`.
+    pub fn local_entity(&self, i: usize) -> EntityId {
+        self.local_entities[i]
+    }
+
+    /// Number of local records.
+    pub fn num_local(&self) -> usize {
+        self.local_entities.len()
+    }
+
+    /// The entity behind a hidden record, by its external id.
+    pub fn entity_of_external(&self, ext: ExternalId) -> Option<EntityId> {
+        self.external_entity.get(&ext.0).copied()
+    }
+
+    /// Whether local record `i` has a matching hidden record
+    /// (`d ∈ D ∩ H`).
+    pub fn local_has_match(&self, i: usize) -> bool {
+        self.hidden_entities.contains(&self.local_entities[i])
+    }
+
+    /// `|D ∩ H|`: how many local records can possibly be covered.
+    pub fn matchable_count(&self) -> usize {
+        (0..self.local_entities.len()).filter(|&i| self.local_has_match(i)).count()
+    }
+
+    /// Whether an entity belongs to the community subpopulation `D` was
+    /// drawn from (used to score row-population crawls).
+    pub fn is_community(&self, e: EntityId) -> bool {
+        self.community_entities.contains(&e)
+    }
+
+    /// Number of community entities present in the hidden database.
+    pub fn hidden_community_count(&self) -> usize {
+        self.hidden_entities.iter().filter(|e| self.community_entities.contains(e)).count()
+    }
+}
+
+/// A fully assembled experiment world.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The local database `D` (records only — the crawler indexes them).
+    pub local: Vec<Record>,
+    /// The hidden database `H`, reachable through its search interface.
+    pub hidden: HiddenDb,
+    /// Evaluation-only entity mapping.
+    pub truth: GroundTruth,
+    /// The configuration that produced this scenario.
+    pub config: ScenarioConfig,
+}
+
+impl Scenario {
+    /// Builds a scenario deterministically from its configuration.
+    ///
+    /// # Panics
+    /// Panics if `delta_d > local_size` or `matchable > hidden_size`.
+    pub fn build(config: ScenarioConfig) -> Self {
+        assert!(config.delta_d <= config.local_size, "ΔD cannot exceed |D|");
+        let matchable = config.matchable();
+        assert!(matchable <= config.hidden_size, "|D ∩ H| cannot exceed |H|");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD5EE_B00C);
+
+        // 1. Generate the local pool (community subpopulation) and the rest
+        //    of the hidden universe from one generator, so entity ids stay
+        //    unique.
+        let mut community_entities: HashSet<EntityId> = HashSet::new();
+        let rest_size = config.hidden_size - matchable;
+        let (local_pool, rest): (Vec<Entity>, Vec<Entity>) = match config.domain {
+            Domain::Publications => {
+                let mut g = PublicationGen::new(config.seed.wrapping_add(1));
+                let local = if config.recent_local {
+                    g.community_recent(config.local_size)
+                } else {
+                    g.community(config.local_size)
+                };
+                (local, g.universe(rest_size))
+            }
+            Domain::Businesses => {
+                let mut g = BusinessGen::new(config.seed.wrapping_add(1));
+                (g.universe(config.local_size), g.universe(rest_size))
+            }
+        };
+
+        // 2. Choose which local records are matchable (go into H): shuffle
+        //    indices, first `matchable` make the cut; the rest are ΔD.
+        let mut order: Vec<usize> = (0..config.local_size).collect();
+        order.shuffle(&mut rng);
+        let matchable_idx: HashSet<usize> = order[..matchable].iter().copied().collect();
+
+        // 3. Assemble hidden entities: matchable local copies (possibly
+        //    drifted) + the rest of the universe, shuffled.
+        let mut hidden_entities: Vec<Entity> = order[..matchable]
+            .iter()
+            .map(|&i| local_pool[i].clone())
+            .chain(rest)
+            .collect();
+        if config.drift_pct > 0.0 {
+            let drift_n = ((matchable as f64) * config.drift_pct).round() as usize;
+            let mut drift_rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+            let chosen = rand::seq::index::sample(&mut drift_rng, matchable, drift_n.min(matchable));
+            for i in chosen.iter() {
+                let mut rec = Record::new(hidden_entities[i].fields.clone());
+                if perturb_record(&mut rec, &mut drift_rng).is_some() {
+                    hidden_entities[i].fields = rec.fields().to_vec();
+                }
+            }
+        }
+        for e in local_pool.iter().chain(&hidden_entities) {
+            if e.community {
+                community_entities.insert(e.id);
+            }
+        }
+        hidden_entities.shuffle(&mut rng);
+
+        // 4. Build the hidden database; external ids are positions in the
+        //    shuffled order — opaque with respect to entity identity.
+        let mut external_entity = HashMap::with_capacity(hidden_entities.len());
+        let mut hidden_entity_set = HashSet::with_capacity(hidden_entities.len());
+        let hidden_records: Vec<HiddenRecord> = hidden_entities
+            .iter()
+            .enumerate()
+            .map(|(ext, e)| {
+                external_entity.insert(ext as u64, e.id);
+                hidden_entity_set.insert(e.id);
+                HiddenRecord::new(
+                    ext as u64,
+                    Record::new(e.fields.clone()),
+                    e.payload.clone(),
+                    e.rank_signal,
+                )
+            })
+            .collect();
+        let hidden = HiddenDbBuilder::new()
+            .k(config.k)
+            .ranking(config.ranking)
+            .mode(config.mode)
+            .records(hidden_records)
+            .build();
+
+        // 5. Local records: every local-pool entity, shuffled, with error
+        //    injection applied after the split so hidden copies stay clean
+        //    (errors live only in D, as in the paper).
+        let mut local_order: Vec<usize> = (0..config.local_size).collect();
+        local_order.shuffle(&mut rng);
+        let mut local: Vec<Record> = Vec::with_capacity(config.local_size);
+        let mut local_entities: Vec<EntityId> = Vec::with_capacity(config.local_size);
+        for &i in &local_order {
+            local.push(Record::new(local_pool[i].fields.clone()));
+            local_entities.push(local_pool[i].id);
+        }
+        if config.error_pct > 0.0 {
+            inject_errors(&mut local, config.error_pct, config.seed.wrapping_add(3));
+        }
+
+        // The ΔD accounting must match: matchable locals are exactly those
+        // whose entity entered H.
+        debug_assert_eq!(
+            local_order.iter().filter(|&&i| matchable_idx.contains(&i)).count(),
+            matchable
+        );
+
+        let truth = GroundTruth {
+            local_entities,
+            external_entity,
+            hidden_entities: hidden_entity_set,
+            community_entities,
+        };
+        Scenario { local, hidden, truth, config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_config() {
+        let s = Scenario::build(ScenarioConfig::tiny(1));
+        assert_eq!(s.local.len(), 80);
+        assert_eq!(s.hidden.len(), 500);
+        assert_eq!(s.truth.num_local(), 80);
+    }
+
+    #[test]
+    fn delta_d_accounting_is_exact() {
+        let s = Scenario::build(ScenarioConfig::tiny(2));
+        assert_eq!(s.truth.matchable_count(), 80 - 8);
+    }
+
+    #[test]
+    fn zero_delta_d_means_full_coverage() {
+        let mut cfg = ScenarioConfig::tiny(3);
+        cfg.delta_d = 0;
+        let s = Scenario::build(cfg);
+        assert_eq!(s.truth.matchable_count(), 80);
+    }
+
+    #[test]
+    fn matchable_locals_have_identical_hidden_text_without_drift() {
+        let s = Scenario::build(ScenarioConfig::tiny(4));
+        // Find each matchable local's hidden twin by entity and compare.
+        let mut by_entity: HashMap<EntityId, Vec<String>> = HashMap::new();
+        for r in s.hidden.iter() {
+            let e = s.truth.entity_of_external(r.external_id).unwrap();
+            by_entity.insert(e, r.searchable.fields().to_vec());
+        }
+        for i in 0..s.truth.num_local() {
+            if s.truth.local_has_match(i) {
+                let e = s.truth.local_entity(i);
+                assert_eq!(by_entity[&e], s.local[i].fields().to_vec());
+            }
+        }
+    }
+
+    #[test]
+    fn drift_changes_some_hidden_copies() {
+        let mut cfg = ScenarioConfig::tiny(5);
+        cfg.drift_pct = 0.5;
+        let s = Scenario::build(cfg);
+        let mut by_entity: HashMap<EntityId, Vec<String>> = HashMap::new();
+        for r in s.hidden.iter() {
+            let e = s.truth.entity_of_external(r.external_id).unwrap();
+            by_entity.insert(e, r.searchable.fields().to_vec());
+        }
+        let mut drifted = 0;
+        for i in 0..s.truth.num_local() {
+            if s.truth.local_has_match(i) {
+                let e = s.truth.local_entity(i);
+                if by_entity[&e] != s.local[i].fields().to_vec() {
+                    drifted += 1;
+                }
+            }
+        }
+        assert!(drifted >= 20, "expected ~36 drifted records, saw {drifted}");
+    }
+
+    #[test]
+    fn error_injection_touches_local_side_only() {
+        let mut cfg = ScenarioConfig::tiny(6);
+        cfg.error_pct = 1.0;
+        cfg.delta_d = 0;
+        let s = Scenario::build(cfg.clone());
+        let mut clean_cfg = cfg;
+        clean_cfg.error_pct = 0.0;
+        let clean = Scenario::build(clean_cfg);
+        // Hidden sides identical; local sides differ.
+        let dirty_hidden: Vec<_> = s.hidden.iter().map(|r| r.searchable.fields().to_vec()).collect();
+        let clean_hidden: Vec<_> =
+            clean.hidden.iter().map(|r| r.searchable.fields().to_vec()).collect();
+        assert_eq!(dirty_hidden, clean_hidden);
+        let differing =
+            s.local.iter().zip(&clean.local).filter(|(a, b)| a != b).count();
+        assert!(differing > 70, "only {differing} locals perturbed");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Scenario::build(ScenarioConfig::tiny(7));
+        let b = Scenario::build(ScenarioConfig::tiny(7));
+        assert_eq!(a.local, b.local);
+        assert_eq!(a.hidden.len(), b.hidden.len());
+    }
+
+    #[test]
+    fn yelp_like_config_is_well_formed() {
+        let cfg = ScenarioConfig::yelp_like();
+        assert_eq!(cfg.k, 50);
+        assert_eq!(cfg.mode, SearchMode::Disjunctive);
+        assert!(cfg.matchable() <= cfg.hidden_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "ΔD cannot exceed |D|")]
+    fn oversized_delta_d_rejected() {
+        let mut cfg = ScenarioConfig::tiny(8);
+        cfg.delta_d = cfg.local_size + 1;
+        Scenario::build(cfg);
+    }
+
+    #[test]
+    fn community_flags_flow_into_ground_truth() {
+        let s = Scenario::build(ScenarioConfig::tiny(12));
+        // Every local entity is drawn from the community subpopulation.
+        for i in 0..s.truth.num_local() {
+            assert!(s.truth.is_community(s.truth.local_entity(i)));
+        }
+        // The hidden database mixes community and long-tail entities.
+        let community = s.truth.hidden_community_count();
+        assert!(community >= s.truth.matchable_count());
+        assert!(community < s.hidden.len(), "long-tail entities must exist");
+    }
+
+    #[test]
+    fn business_domain_builds() {
+        let mut cfg = ScenarioConfig::tiny(9);
+        cfg.domain = Domain::Businesses;
+        cfg.mode = SearchMode::Disjunctive;
+        let s = Scenario::build(cfg);
+        assert_eq!(s.local.len(), 80);
+        assert_eq!(s.hidden.mode(), SearchMode::Disjunctive);
+    }
+}

@@ -1,0 +1,122 @@
+//! Zipf-distributed sampling over ranked vocabularies.
+//!
+//! Natural-language keyword frequencies are Zipfian; the query-sharing
+//! effect SmartCrawl exploits (a few keywords cover many records) exists
+//! precisely because of this skew, so the generators must reproduce it.
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over ranks `0..n` (rank 0 most probable), sampled
+/// by binary search over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform; `s ≈ 1` is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in CDF")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of a given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_probable_when_skewed() {
+        let z = Zipf::new(50, 1.2);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_skew() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 20];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head rank should dominate the tail rank decisively.
+        assert!(counts[0] > 4 * counts[19], "head {} tail {}", counts[0], counts[19]);
+        // All ranks reachable.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf needs at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the workload generators: the scenario invariants the
+//! rest of the system relies on must hold for arbitrary configurations.
+
+use proptest::prelude::*;
+use smartcrawl_data::{Domain, Scenario, ScenarioConfig};
+use smartcrawl_hidden::SearchMode;
+use std::collections::HashSet;
+
+fn config_strategy() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        0u64..500,
+        20usize..60,
+        0usize..8,
+        prop_oneof![Just(Domain::Publications), Just(Domain::Businesses)],
+        prop_oneof![Just(0.0f64), Just(0.3f64)],
+        prop_oneof![Just(0.0f64), Just(0.4f64)],
+    )
+        .prop_map(|(seed, local, delta, domain, error_pct, drift_pct)| {
+            let mut cfg = ScenarioConfig::tiny(seed);
+            cfg.domain = domain;
+            cfg.local_size = local;
+            cfg.delta_d = delta.min(local);
+            cfg.hidden_size = 300;
+            cfg.error_pct = error_pct;
+            cfg.drift_pct = drift_pct;
+            if domain == Domain::Businesses {
+                cfg.mode = SearchMode::Disjunctive;
+            }
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scenario_invariants(cfg in config_strategy()) {
+        let s = Scenario::build(cfg.clone());
+
+        // Sizes.
+        prop_assert_eq!(s.local.len(), cfg.local_size);
+        prop_assert_eq!(s.hidden.len(), cfg.hidden_size);
+        prop_assert_eq!(s.truth.num_local(), cfg.local_size);
+
+        // ΔD accounting is exact.
+        prop_assert_eq!(s.truth.matchable_count(), cfg.local_size - cfg.delta_d);
+
+        // Local entities are distinct.
+        let entities: HashSet<_> =
+            (0..s.truth.num_local()).map(|i| s.truth.local_entity(i)).collect();
+        prop_assert_eq!(entities.len(), cfg.local_size);
+
+        // Every hidden record resolves to an entity, and hidden external
+        // ids are dense 0..|H|.
+        for r in s.hidden.iter() {
+            prop_assert!(s.truth.entity_of_external(r.external_id).is_some());
+            prop_assert!((r.external_id.0 as usize) < cfg.hidden_size);
+        }
+
+        // Matchable locals' entities exist in H; ΔD locals' do not.
+        let hidden_entities: HashSet<_> = s
+            .hidden
+            .iter()
+            .map(|r| s.truth.entity_of_external(r.external_id).unwrap())
+            .collect();
+        for i in 0..s.truth.num_local() {
+            prop_assert_eq!(
+                s.truth.local_has_match(i),
+                hidden_entities.contains(&s.truth.local_entity(i))
+            );
+        }
+
+        // No record has an empty document-able text.
+        for r in &s.local {
+            prop_assert!(!r.full_text().trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenarios_are_reproducible(cfg in config_strategy()) {
+        let a = Scenario::build(cfg.clone());
+        let b = Scenario::build(cfg);
+        prop_assert_eq!(&a.local, &b.local);
+        let ida: Vec<u64> = a.hidden.iter().map(|r| r.external_id.0).collect();
+        let idb: Vec<u64> = b.hidden.iter().map(|r| r.external_id.0).collect();
+        prop_assert_eq!(ida, idb);
+    }
+
+    #[test]
+    fn zipf_sampler_is_well_formed(n in 1usize..200, s in 0.0f64..2.5) {
+        let z = smartcrawl_data::Zipf::new(n, s);
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing pmf.
+        for r in 1..n {
+            prop_assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! FP-Growth miner (Han, Pei, Yin — SIGMOD 2000; paper reference \[24\]).
+//!
+//! The production miner behind SmartCrawl's query pool. Builds a compact
+//! FP-tree over the corpus once and mines frequent itemsets by recursing
+//! into per-item conditional trees, never generating candidates that cannot
+//! be frequent.
+
+use crate::fptree::FpTree;
+use crate::{Itemset, MinerConfig};
+use smartcrawl_text::{Document, TokenId};
+use std::collections::HashMap;
+
+/// Mines all itemsets with support ≥ `cfg.min_support` and length ≤
+/// `cfg.max_len`, in canonical order (length, then item ids). Equivalent to
+/// [`crate::apriori`](fn@crate::apriori) (property-tested).
+pub fn fpgrowth(transactions: &[Document], cfg: MinerConfig) -> Vec<Itemset> {
+    // Pass 1: global item counts.
+    let mut counts: HashMap<TokenId, usize> = HashMap::new();
+    for t in transactions {
+        for item in t.iter() {
+            *counts.entry(item).or_insert(0) += 1;
+        }
+    }
+    // Rank frequent items: descending frequency, ties by ascending TokenId,
+    // so the rank assignment (and hence the tree shape) is deterministic.
+    let mut frequent: Vec<(TokenId, usize)> =
+        counts.into_iter().filter(|&(_, c)| c >= cfg.min_support).collect();
+    frequent.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rank_to_item: Vec<TokenId> = frequent.iter().map(|&(t, _)| t).collect();
+    let item_to_rank: HashMap<TokenId, u32> =
+        rank_to_item.iter().enumerate().map(|(r, &t)| (t, r as u32)).collect();
+
+    // Pass 2: build the global FP-tree.
+    let mut tree = FpTree::new();
+    let mut ranks_buf = Vec::new();
+    for t in transactions {
+        ranks_buf.clear();
+        ranks_buf.extend(t.iter().filter_map(|item| item_to_rank.get(&item).copied()));
+        ranks_buf.sort_unstable();
+        if !ranks_buf.is_empty() {
+            tree.insert(&ranks_buf, 1);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut suffix = Vec::new();
+    mine(&tree, cfg, &mut suffix, &rank_to_item, &mut out);
+    crate::canonicalize(out)
+}
+
+/// Recursively mines `tree`; `suffix` holds the ranks already fixed (each
+/// frequent in every transaction of `tree`).
+fn mine(
+    tree: &FpTree,
+    cfg: MinerConfig,
+    suffix: &mut Vec<u32>,
+    rank_to_item: &[TokenId],
+    out: &mut Vec<Itemset>,
+) {
+    if tree.is_empty() || suffix.len() >= cfg.max_len {
+        return;
+    }
+    for rank in tree.ranks().collect::<Vec<_>>() {
+        let support = tree.support(rank);
+        if support < cfg.min_support {
+            continue;
+        }
+        suffix.push(rank);
+        let mut items: Vec<TokenId> = suffix.iter().map(|&r| rank_to_item[r as usize]).collect();
+        items.sort_unstable();
+        out.push(Itemset { items, support });
+
+        if suffix.len() < cfg.max_len {
+            // Build the conditional tree from rank's prefix paths, keeping
+            // only items frequent within the base.
+            let paths = tree.prefix_paths(rank);
+            let mut base_counts: HashMap<u32, usize> = HashMap::new();
+            for (path, count) in &paths {
+                for &r in path {
+                    *base_counts.entry(r).or_insert(0) += count;
+                }
+            }
+            let mut cond = FpTree::new();
+            let mut filtered = Vec::new();
+            for (path, count) in &paths {
+                filtered.clear();
+                filtered.extend(
+                    path.iter().copied().filter(|r| base_counts[r] >= cfg.min_support),
+                );
+                if !filtered.is_empty() {
+                    cond.insert(&filtered, *count);
+                }
+            }
+            mine(&cond, cfg, suffix, rank_to_item, out);
+        }
+        suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori;
+
+    fn docs(specs: &[&[u32]]) -> Vec<Document> {
+        specs
+            .iter()
+            .map(|s| Document::from_tokens(s.iter().map(|&t| TokenId(t)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_apriori_on_textbook_example() {
+        let txs = docs(&[&[0, 1, 2], &[0, 1], &[0, 2], &[1, 2], &[0, 1, 2]]);
+        let cfg = MinerConfig::new(3, 3);
+        assert_eq!(fpgrowth(&txs, cfg), apriori(&txs, cfg));
+    }
+
+    #[test]
+    fn running_example_finds_noodle_house() {
+        // tokens: 0=thai 1=noodle 2=house 3=jade 4=express
+        let txs = docs(&[&[0, 1, 2], &[3, 1, 2], &[0, 2], &[0, 1, 4]]);
+        let out = fpgrowth(&txs, MinerConfig::new(2, 4));
+        let has = |items: &[u32], support: usize| {
+            out.iter().any(|s| {
+                s.items == items.iter().map(|&t| TokenId(t)).collect::<Vec<_>>()
+                    && s.support == support
+            })
+        };
+        assert!(has(&[2], 3), "house freq 3");
+        assert!(has(&[0], 3), "thai freq 3");
+        assert!(has(&[1, 2], 2), "noodle house freq 2");
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn near_duplicate_documents_do_not_explode_under_cap() {
+        // Two identical 16-token documents: the uncapped lattice would have
+        // 2^16 − 1 itemsets; the cap keeps it polynomial.
+        let big: Vec<u32> = (0..16).collect();
+        let txs = docs(&[&big, &big]);
+        let out = fpgrowth(&txs, MinerConfig::new(2, 2));
+        // 16 singles + C(16,2)=120 pairs.
+        assert_eq!(out.len(), 16 + 120);
+        assert!(out.iter().all(|s| s.support == 2));
+    }
+
+    #[test]
+    fn infrequent_items_never_appear() {
+        let txs = docs(&[&[0, 1], &[0, 2], &[0, 3]]);
+        let out = fpgrowth(&txs, MinerConfig::new(2, 3));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].items, vec![TokenId(0)]);
+        assert_eq!(out[0].support, 3);
+    }
+
+    #[test]
+    fn empty_transactions_are_fine() {
+        let txs = docs(&[&[], &[], &[0], &[0]]);
+        let out = fpgrowth(&txs, MinerConfig::new(2, 3));
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! The in-memory hidden database engine.
+//!
+//! Implements Definition 2 exactly: for a conjunctive query `q`, the engine
+//! computes `q(H)` via its inverted index; if `|q(H)| ≤ k` the full match
+//! set is returned (a *solid* query), otherwise the top-`k` under the
+//! engine's ranking (an *overflowing* query). Query processing is
+//! deterministic.
+
+use crate::ranking::Ranking;
+use crate::record::{ExternalId, HiddenRecord, Retrieved};
+use smartcrawl_index::InvertedIndex;
+use smartcrawl_text::{Document, RecordId, TokenId, Tokenizer, Vocabulary};
+use std::collections::HashMap;
+
+/// Which match semantics the search interface exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Only records containing all query keywords match (the paper's
+    /// Definition 1; DBLP-style engines).
+    Conjunctive,
+    /// Records containing any query keyword are candidates; ranking is by
+    /// (number of matched keywords, then the engine ranking), so records
+    /// matching all keywords rank at the top — the behaviour the paper
+    /// observed on Yelp.
+    Disjunctive,
+}
+
+/// Builder for [`HiddenDb`].
+#[derive(Debug)]
+pub struct HiddenDbBuilder {
+    k: usize,
+    ranking: Ranking,
+    mode: SearchMode,
+    tokenizer: Tokenizer,
+    records: Vec<HiddenRecord>,
+}
+
+impl HiddenDbBuilder {
+    /// Starts a builder with the paper's defaults (`k = 100`, conjunctive,
+    /// rank by descending signal — the DBLP engine ranks by year).
+    pub fn new() -> Self {
+        Self {
+            k: 100,
+            ranking: Ranking::SignalDesc,
+            mode: SearchMode::Conjunctive,
+            tokenizer: Tokenizer::default(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Sets the top-`k` result limit.
+    pub fn k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self
+    }
+
+    /// Sets the (opaque) ranking function.
+    pub fn ranking(mut self, ranking: Ranking) -> Self {
+        self.ranking = ranking;
+        self
+    }
+
+    /// Sets the match semantics.
+    pub fn mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the tokenizer (must match the one used by clients for the
+    /// conjunctive semantics to be meaningful).
+    pub fn tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Adds records.
+    pub fn records(mut self, records: impl IntoIterator<Item = HiddenRecord>) -> Self {
+        self.records.extend(records);
+        self
+    }
+
+    /// Builds the engine (tokenizes and indexes every record).
+    pub fn build(self) -> HiddenDb {
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Document> = self
+            .records
+            .iter()
+            .map(|r| r.searchable.document(&self.tokenizer, &mut vocab))
+            .collect();
+        let index = InvertedIndex::build(&docs, vocab.len());
+        // Precompute the rank position of every record: position in the
+        // database-wide ranking order (lower = ranked higher).
+        let mut order: Vec<u32> = (0..self.records.len() as u32).collect();
+        let ranking = self.ranking;
+        order.sort_unstable_by_key(|&i| {
+            let r = &self.records[i as usize];
+            (ranking.key(r.external_id.0, r.rank_signal), r.external_id.0)
+        });
+        let mut rank_pos = vec![0u32; self.records.len()];
+        for (pos, &i) in order.iter().enumerate() {
+            rank_pos[i as usize] = pos as u32;
+        }
+        let by_external =
+            self.records.iter().enumerate().map(|(i, r)| (r.external_id, i)).collect();
+        HiddenDb {
+            records: self.records,
+            docs,
+            vocab,
+            index,
+            rank_pos,
+            by_external,
+            tokenizer: self.tokenizer,
+            k: self.k,
+            mode: self.mode,
+        }
+    }
+}
+
+impl Default for HiddenDbBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A simulated hidden database with a top-`k` keyword-search interface.
+#[derive(Debug)]
+pub struct HiddenDb {
+    records: Vec<HiddenRecord>,
+    docs: Vec<Document>,
+    vocab: Vocabulary,
+    index: InvertedIndex,
+    /// Record position in the global ranking (lower ranks higher).
+    rank_pos: Vec<u32>,
+    by_external: HashMap<ExternalId, usize>,
+    tokenizer: Tokenizer,
+    k: usize,
+    mode: SearchMode,
+}
+
+impl HiddenDb {
+    /// The interface's result-size limit `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of records `|H|` (unknown to crawlers; used by oracles,
+    /// samplers with ground truth, and evaluation).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The search mode.
+    pub fn mode(&self) -> SearchMode {
+        self.mode
+    }
+
+    /// Ground-truth record access by external id (evaluation only).
+    pub fn get(&self, id: ExternalId) -> Option<&HiddenRecord> {
+        self.by_external.get(&id).map(|&i| &self.records[i])
+    }
+
+    /// Iterates all records (evaluation / oracle sampling only).
+    pub fn iter(&self) -> impl Iterator<Item = &HiddenRecord> {
+        self.records.iter()
+    }
+
+    /// The indexed document of a record, under the engine's own vocabulary
+    /// (evaluation/diagnostics only).
+    pub fn document_of(&self, id: ExternalId) -> Option<&Document> {
+        self.by_external.get(&id).map(|&i| &self.docs[i])
+    }
+
+    /// Executes a keyword search, returning the top-`k` page.
+    ///
+    /// Keywords are normalized with the engine's tokenizer; stop words are
+    /// dropped (the paper does not consider them query keywords). A query
+    /// whose every keyword is unknown/stopword matches nothing.
+    pub fn search(&self, keywords: &[String]) -> Vec<Retrieved> {
+        let tokens = self.normalize(keywords);
+        match self.mode {
+            SearchMode::Conjunctive => {
+                // A keyword outside the vocabulary is contained in no
+                // record, so the conjunctive query matches nothing.
+                if tokens.is_empty() || self.has_unknown_keyword(keywords) {
+                    return Vec::new();
+                }
+                self.search_conjunctive(&tokens)
+            }
+            SearchMode::Disjunctive => {
+                if tokens.is_empty() {
+                    return Vec::new();
+                }
+                self.search_disjunctive(&tokens)
+            }
+        }
+    }
+
+    /// `|q(H)|` under *conjunctive* semantics — ground truth for tests and
+    /// oracle estimators; a real hidden database never reveals this.
+    pub fn true_frequency(&self, keywords: &[String]) -> usize {
+        let tokens = self.normalize(keywords);
+        if tokens.is_empty() || self.has_unknown_keyword(keywords) {
+            return 0;
+        }
+        self.index.frequency(&tokens)
+    }
+
+    fn normalize(&self, keywords: &[String]) -> Vec<TokenId> {
+        let mut tokens: Vec<TokenId> = keywords
+            .iter()
+            .flat_map(|kw| {
+                self.tokenizer
+                    .raw_tokens(kw)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|t| self.vocab.get(&t))
+            })
+            .flatten()
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        // Keywords unknown to the vocabulary vanish here; `search` pairs
+        // this with `has_unknown_keyword` so conjunctive queries containing
+        // one correctly match nothing.
+        tokens
+    }
+
+    /// Whether any query keyword fails to normalize to a known token.
+    fn has_unknown_keyword(&self, keywords: &[String]) -> bool {
+        keywords.iter().any(|kw| {
+            self.tokenizer.raw_tokens(kw).any(|t| self.vocab.get(&t).is_none())
+        })
+    }
+
+    fn search_conjunctive(&self, tokens: &[TokenId]) -> Vec<Retrieved> {
+        let matches = self.index.matching(tokens);
+        self.top_k(matches)
+    }
+
+    fn search_disjunctive(&self, tokens: &[TokenId]) -> Vec<Retrieved> {
+        // Count distinct query tokens per candidate record.
+        let mut hits: HashMap<RecordId, u32> = HashMap::new();
+        for &t in tokens {
+            for &rid in self.index.postings(t) {
+                *hits.entry(rid).or_insert(0) += 1;
+            }
+        }
+        // Yelp-like two-tier ranking (paper §2: records containing all
+        // query keywords rank at the top): full matches first, ordered by
+        // the engine ranking; then partial matches ordered by the engine
+        // ranking alone — real relevance engines rank the partial tail by
+        // popularity signals, not by raw keyword overlap, which is what
+        // buries near-miss records under popular loosely-related ones.
+        let n_query = tokens.len() as u32;
+        let mut scored: Vec<(RecordId, bool)> =
+            hits.into_iter().map(|(rid, m)| (rid, m == n_query)).collect();
+        scored.sort_unstable_by_key(|&(rid, full)| {
+            (std::cmp::Reverse(full), self.rank_pos[rid.index()])
+        });
+        scored.truncate(self.k);
+        scored.into_iter().map(|(rid, _)| self.retrieve(rid)).collect()
+    }
+
+    fn top_k(&self, mut matches: Vec<RecordId>) -> Vec<Retrieved> {
+        if matches.len() > self.k {
+            let k = self.k;
+            matches.select_nth_unstable_by_key(k, |&rid| self.rank_pos[rid.index()]);
+            matches.truncate(k);
+        }
+        matches.sort_unstable_by_key(|&rid| self.rank_pos[rid.index()]);
+        matches.into_iter().map(|rid| self.retrieve(rid)).collect()
+    }
+
+    fn retrieve(&self, rid: RecordId) -> Retrieved {
+        let r = &self.records[rid.index()];
+        Retrieved {
+            external_id: r.external_id,
+            fields: r.searchable.fields().to_vec(),
+            payload: r.payload.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_text::Record;
+
+    fn db(k: usize, names: &[(&str, f64)]) -> HiddenDb {
+        HiddenDbBuilder::new()
+            .k(k)
+            .records(names.iter().enumerate().map(|(i, &(name, sig))| {
+                HiddenRecord::new(i as u64, Record::from([name]), vec![format!("p{i}")], sig)
+            }))
+            .build()
+    }
+
+    #[test]
+    fn solid_query_returns_full_match_set() {
+        let h = db(10, &[("Thai House", 1.0), ("Steak House", 2.0), ("Ramen Bar", 3.0)]);
+        let page = h.search(&["house".into()]);
+        assert_eq!(page.len(), 2);
+        assert_eq!(h.true_frequency(&["house".into()]), 2);
+    }
+
+    #[test]
+    fn overflowing_query_truncates_to_top_k_by_ranking() {
+        // k = 2, five matching records, SignalDesc: highest signals win.
+        let h = db(
+            2,
+            &[
+                ("House a", 2001.0),
+                ("House b", 2005.0),
+                ("House c", 1999.0),
+                ("House d", 2010.0),
+                ("House e", 2003.0),
+            ],
+        );
+        let page = h.search(&["house".into()]);
+        assert_eq!(page.len(), 2);
+        let ids: Vec<u64> = page.iter().map(|r| r.external_id.0).collect();
+        assert_eq!(ids, vec![3, 1]); // 2010, then 2005
+    }
+
+    #[test]
+    fn conjunctive_requires_all_keywords() {
+        let h = db(10, &[("Thai Noodle House", 1.0), ("Thai House", 2.0)]);
+        assert_eq!(h.search(&["thai".into(), "noodle".into()]).len(), 1);
+        assert_eq!(h.search(&["thai".into()]).len(), 2);
+        assert!(h.search(&["thai".into(), "pavilion".into()]).is_empty());
+    }
+
+    #[test]
+    fn stopwords_are_not_query_keywords() {
+        let h = db(10, &[("Lotus Siam", 1.0)]);
+        // "of" is a stop word: the query reduces to {lotus, siam}.
+        let page = h.search(&["lotus".into(), "of".into(), "siam".into()]);
+        assert_eq!(page.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_repeatable_results() {
+        let h = db(2, &[("House a", 1.0), ("House b", 2.0), ("House c", 3.0)]);
+        let q = vec!["house".to_string()];
+        assert_eq!(h.search(&q), h.search(&q));
+    }
+
+    #[test]
+    fn disjunctive_ranks_full_matches_first() {
+        let h = HiddenDbBuilder::new()
+            .k(3)
+            .mode(SearchMode::Disjunctive)
+            .records([
+                HiddenRecord::new(0, Record::from(["Thai Palace"]), vec![], 50.0),
+                HiddenRecord::new(1, Record::from(["Noodle World"]), vec![], 99.0),
+                HiddenRecord::new(2, Record::from(["Thai Noodle House"]), vec![], 1.0),
+            ])
+            .build();
+        let page = h.search(&["thai".into(), "noodle".into()]);
+        // Record 2 matches both keywords → ranked first despite low signal.
+        assert_eq!(page[0].external_id.0, 2);
+        assert_eq!(page.len(), 3);
+    }
+
+    #[test]
+    fn disjunctive_partial_tail_ranks_by_signal_not_match_count() {
+        // Real relevance engines rank the partial tail by popularity: a
+        // popular 1-keyword matcher must outrank an unpopular 2-of-3
+        // matcher.
+        let h = HiddenDbBuilder::new()
+            .k(10)
+            .mode(SearchMode::Disjunctive)
+            .records([
+                HiddenRecord::new(0, Record::from(["thai noodle house"]), vec![], 1.0), // full
+                HiddenRecord::new(1, Record::from(["thai noodle bar"]), vec![], 2.0), // 2/3, unpopular
+                HiddenRecord::new(2, Record::from(["thai palace"]), vec![], 99.0), // 1/3, popular
+            ])
+            .build();
+        let page = h.search(&["thai".into(), "noodle".into(), "house".into()]);
+        let ids: Vec<u64> = page.iter().map(|r| r.external_id.0).collect();
+        assert_eq!(ids, vec![0, 2, 1], "full match first, then partials by signal");
+    }
+
+    #[test]
+    fn disjunctive_returns_partial_matches() {
+        let h = HiddenDbBuilder::new()
+            .k(10)
+            .mode(SearchMode::Disjunctive)
+            .records([
+                HiddenRecord::new(0, Record::from(["Thai Palace"]), vec![], 1.0),
+                HiddenRecord::new(1, Record::from(["Ramen Bar"]), vec![], 2.0),
+            ])
+            .build();
+        // Conjunctive would return nothing ("thai ramen" matches no record
+        // fully); disjunctive returns both partial matches.
+        let page = h.search(&["thai".into(), "ramen".into()]);
+        assert_eq!(page.len(), 2);
+    }
+
+    #[test]
+    fn hashed_ranking_is_opaque_but_stable() {
+        let mk = || {
+            HiddenDbBuilder::new()
+                .k(1)
+                .ranking(Ranking::Hashed { seed: 7 })
+                .records((0..5).map(|i| {
+                    HiddenRecord::new(i, Record::from(["common word"]), vec![], i as f64)
+                }))
+                .build()
+        };
+        let a = mk().search(&["common".into()]);
+        let b = mk().search(&["common".into()]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn get_by_external_id() {
+        let h = db(10, &[("Thai House", 1.0)]);
+        assert!(h.get(ExternalId(0)).is_some());
+        assert!(h.get(ExternalId(9)).is_none());
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let h = db(10, &[("Thai House", 1.0)]);
+        assert!(h.search(&[]).is_empty());
+        assert!(h.search(&["the".into()]).is_empty()); // all stopwords
+    }
+}

@@ -1,0 +1,171 @@
+//! Form-like search interfaces (paper §9, future work #2).
+//!
+//! Many hidden databases expose a *form*: a set of typed fields
+//! (`venue = SIGMOD`, `city = phoenix`) combined conjunctively, rather
+//! than free-text keywords. The entire SmartCrawl machinery — pool mining,
+//! benefit estimation, top-k handling — only relies on records being sets
+//! of atomic symbols with conjunctive containment semantics, so form
+//! search *reduces* to keyword search: encode every `(attribute, value)`
+//! pair as one opaque alphanumeric token (`venue0sigmod`). A form
+//! submission is then exactly a conjunctive keyword query over encoded
+//! tokens, and [`HiddenDb`](crate::HiddenDb) serves as the form backend
+//! unchanged.
+//!
+//! The encoding keeps attribute names *inside* the token, so
+//! `venue = sigmod` can never be confused with `author = sigmod`.
+
+use smartcrawl_text::Record;
+
+/// Encoder for one form schema: an ordered list of attribute names.
+#[derive(Debug, Clone)]
+pub struct FormEncoder {
+    attributes: Vec<String>,
+}
+
+impl FormEncoder {
+    /// Creates an encoder for the given attribute names.
+    ///
+    /// # Panics
+    /// Panics on an empty schema or a duplicate attribute name.
+    pub fn new<S: Into<String>>(attributes: impl IntoIterator<Item = S>) -> Self {
+        let attributes: Vec<String> =
+            attributes.into_iter().map(|a| strip(&a.into())).collect();
+        assert!(!attributes.is_empty(), "form schema needs at least one attribute");
+        let mut dedup = attributes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), attributes.len(), "duplicate attribute in form schema");
+        Self { attributes }
+    }
+
+    /// The schema's attribute names (normalized).
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Encodes one `(attribute, value)` predicate as an atomic keyword.
+    ///
+    /// # Panics
+    /// Panics if `attr` is not part of the schema.
+    pub fn predicate(&self, attr: &str, value: &str) -> String {
+        let attr = strip(attr);
+        assert!(
+            self.attributes.contains(&attr),
+            "attribute {attr:?} not in the form schema"
+        );
+        format!("{attr}0{}", strip(value))
+    }
+
+    /// Encodes a full tuple (one value per schema attribute, in order) as
+    /// a record whose document is the set of encoded predicates.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the schema.
+    pub fn encode_record<S: AsRef<str>>(&self, values: &[S]) -> Record {
+        assert_eq!(values.len(), self.attributes.len(), "tuple arity mismatch");
+        let fields = self
+            .attributes
+            .iter()
+            .zip(values)
+            .map(|(a, v)| format!("{a}0{}", strip(v.as_ref())))
+            .collect();
+        Record::new(fields)
+    }
+}
+
+/// Normalizes a name/value to one lowercase alphanumeric token, so the
+/// standard tokenizer keeps the encoded predicate atomic.
+fn strip(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(|c| c.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HiddenDbBuilder, HiddenRecord};
+    use smartcrawl_text::{Tokenizer, Vocabulary};
+
+    fn encoder() -> FormEncoder {
+        FormEncoder::new(["venue", "year", "city"])
+    }
+
+    #[test]
+    fn predicates_are_atomic_under_the_standard_tokenizer() {
+        let f = encoder();
+        let p = f.predicate("city", "Casa Grande");
+        assert_eq!(p, "city0casagrande");
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let doc = tok.tokenize(&p, &mut v);
+        assert_eq!(doc.len(), 1, "an encoded predicate must stay one token");
+    }
+
+    #[test]
+    fn same_value_under_different_attributes_does_not_collide() {
+        let f = FormEncoder::new(["venue", "author"]);
+        assert_ne!(f.predicate("venue", "sigmod"), f.predicate("author", "sigmod"));
+    }
+
+    #[test]
+    fn encode_record_produces_one_field_per_attribute() {
+        let f = encoder();
+        let r = f.encode_record(&["SIGMOD", "2018", "Houston"]);
+        assert_eq!(
+            r.fields(),
+            ["venue0sigmod", "year02018", "city0houston"]
+        );
+    }
+
+    #[test]
+    fn form_search_via_the_keyword_engine() {
+        // The reduction end-to-end: a HiddenDb over encoded tuples answers
+        // form submissions as conjunctive keyword queries.
+        let f = encoder();
+        let tuples: [(&str, &str, &str); 4] = [
+            ("SIGMOD", "2018", "Houston"),
+            ("SIGMOD", "2017", "Chicago"),
+            ("VLDB", "2018", "Rio"),
+            ("ICDE", "2018", "Paris"),
+        ];
+        let db = HiddenDbBuilder::new()
+            .k(10)
+            .records(tuples.iter().enumerate().map(|(i, &(v, y, c))| {
+                HiddenRecord::new(
+                    i as u64,
+                    f.encode_record(&[v, y, c]),
+                    vec![],
+                    i as f64,
+                )
+            }))
+            .build();
+        // venue = SIGMOD ∧ year = 2018 → exactly one tuple.
+        let page = db.search(&[f.predicate("venue", "SIGMOD"), f.predicate("year", "2018")]);
+        assert_eq!(page.len(), 1);
+        assert_eq!(page[0].external_id.0, 0);
+        // year = 2018 → three tuples.
+        assert_eq!(db.search(&[f.predicate("year", "2018")]).len(), 3);
+        // A value under the wrong attribute matches nothing.
+        assert!(db.search(&[f.predicate("city", "sigmod")]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the form schema")]
+    fn unknown_attribute_rejected() {
+        encoder().predicate("rating", "5");
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple arity mismatch")]
+    fn arity_mismatch_rejected() {
+        encoder().encode_record(&["SIGMOD"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attributes_rejected() {
+        FormEncoder::new(["a", "a"]);
+    }
+}

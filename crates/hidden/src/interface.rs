@@ -1,0 +1,204 @@
+//! The keyword-search interface crawlers are restricted to, and the budget
+//! metering wrapper.
+//!
+//! Real hidden databases cap API usage (Yelp: 25 000 free requests/day,
+//! Google Maps: 2 500/day — paper §1), which is why DeepEnrich is a
+//! budgeted optimization problem. [`Metered`] enforces such a cap and logs
+//! every issued query, so experiments can account for exactly how a crawler
+//! spent its budget.
+
+use crate::engine::HiddenDb;
+use crate::record::Retrieved;
+
+/// A page of results returned by one search call.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchPage {
+    /// Top-`k` (or fewer) records, ranked.
+    pub records: Vec<Retrieved>,
+}
+
+impl SearchPage {
+    /// Whether the page hit the interface's `k` limit — i.e. whether the
+    /// query *might* be overflowing. A short page proves the query is
+    /// solid (no false negatives, Definition 2).
+    pub fn is_full(&self, k: usize) -> bool {
+        self.records.len() >= k
+    }
+}
+
+/// Errors surfaced by a search interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchError {
+    /// The query budget (rate limit) is exhausted; the call was not served.
+    BudgetExhausted,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::BudgetExhausted => write!(f, "query budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// The only capability a crawler has against a hidden database.
+pub trait SearchInterface {
+    /// The top-`k` limit the interface advertises.
+    fn k(&self) -> usize;
+
+    /// Issues a keyword query and returns the ranked result page.
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError>;
+
+    /// Number of queries issued so far through this interface.
+    fn queries_issued(&self) -> usize;
+}
+
+impl SearchInterface for &HiddenDb {
+    fn k(&self) -> usize {
+        HiddenDb::k(self)
+    }
+
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+        Ok(SearchPage { records: HiddenDb::search(self, keywords) })
+    }
+
+    fn queries_issued(&self) -> usize {
+        0 // the bare engine does not meter; wrap it in `Metered`
+    }
+}
+
+/// One entry of the metered interface's audit log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLogEntry {
+    /// The issued keywords.
+    pub keywords: Vec<String>,
+    /// How many records came back.
+    pub results: usize,
+}
+
+/// Budget-enforcing, logging wrapper around any [`SearchInterface`].
+#[derive(Debug)]
+pub struct Metered<I> {
+    inner: I,
+    limit: Option<usize>,
+    used: usize,
+    log: Vec<QueryLogEntry>,
+    keep_log: bool,
+}
+
+impl<I: SearchInterface> Metered<I> {
+    /// Wraps `inner` with an optional hard budget.
+    pub fn new(inner: I, limit: Option<usize>) -> Self {
+        Self { inner, limit, used: 0, log: Vec::new(), keep_log: false }
+    }
+
+    /// Enables the per-query audit log (off by default to keep long crawls
+    /// cheap).
+    pub fn with_log(mut self) -> Self {
+        self.keep_log = true;
+        self
+    }
+
+    /// Remaining budget, if capped.
+    pub fn remaining(&self) -> Option<usize> {
+        self.limit.map(|l| l.saturating_sub(self.used))
+    }
+
+    /// The audit log (empty unless [`Metered::with_log`] was called).
+    pub fn log(&self) -> &[QueryLogEntry] {
+        &self.log
+    }
+
+    /// Unwraps the inner interface.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: SearchInterface> SearchInterface for Metered<I> {
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+        if let Some(limit) = self.limit {
+            if self.used >= limit {
+                return Err(SearchError::BudgetExhausted);
+            }
+        }
+        self.used += 1;
+        let page = self.inner.search(keywords)?;
+        if self.keep_log {
+            self.log.push(QueryLogEntry { keywords: keywords.to_vec(), results: page.records.len() });
+        }
+        Ok(page)
+    }
+
+    fn queries_issued(&self) -> usize {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HiddenDbBuilder;
+    use crate::record::HiddenRecord;
+    use smartcrawl_text::Record;
+
+    fn tiny_db() -> HiddenDb {
+        HiddenDbBuilder::new()
+            .k(2)
+            .records([
+                HiddenRecord::new(0, Record::from(["Thai House"]), vec![], 1.0),
+                HiddenRecord::new(1, Record::from(["Steak House"]), vec![], 2.0),
+                HiddenRecord::new(2, Record::from(["Noodle House"]), vec![], 3.0),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn metered_counts_and_enforces_budget() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, Some(2));
+        assert!(m.search(&["thai".into()]).is_ok());
+        assert!(m.search(&["steak".into()]).is_ok());
+        assert_eq!(m.queries_issued(), 2);
+        assert_eq!(m.remaining(), Some(0));
+        assert_eq!(m.search(&["noodle".into()]), Err(SearchError::BudgetExhausted));
+        assert_eq!(m.queries_issued(), 2, "rejected calls do not consume budget");
+    }
+
+    #[test]
+    fn uncapped_metered_only_counts() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, None);
+        for _ in 0..5 {
+            m.search(&["house".into()]).unwrap();
+        }
+        assert_eq!(m.queries_issued(), 5);
+        assert_eq!(m.remaining(), None);
+    }
+
+    #[test]
+    fn log_records_queries_when_enabled() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, None).with_log();
+        m.search(&["house".into()]).unwrap();
+        assert_eq!(m.log().len(), 1);
+        assert_eq!(m.log()[0].keywords, vec!["house".to_string()]);
+        assert_eq!(m.log()[0].results, 2); // k=2 truncation
+    }
+
+    #[test]
+    fn page_is_full_detects_possible_overflow() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, None);
+        let full = m.search(&["house".into()]).unwrap();
+        assert!(full.is_full(db.k()));
+        let solid = m.search(&["thai".into()]).unwrap();
+        assert!(!solid.is_full(db.k()));
+    }
+}

@@ -1,0 +1,35 @@
+//! Hidden-database simulator (paper §2, Definition 2; §7.1).
+//!
+//! A *hidden database* curates records reachable only through a keyword
+//! search interface: given a query, it returns the top-`k` records that
+//! match, ranked by a function the crawler does not know. This crate
+//! simulates such databases faithfully:
+//!
+//! * [`HiddenDb`] — an in-memory corpus with an inverted index and a
+//!   deterministic (but externally opaque) [`Ranking`]. Two search
+//!   semantics are supported, mirroring the paper's two evaluation setups:
+//!   * [`SearchMode::Conjunctive`] — only records containing *all* query
+//!     keywords are returned (DBLP-style engine, §7.1.1);
+//!   * [`SearchMode::Disjunctive`] — records matching *any* keyword are
+//!     candidates and records matching more keywords rank higher, so
+//!     conjunctive matches rank at the top (Yelp-style behaviour, §2 and
+//!     §7.1.2).
+//! * [`SearchInterface`] — the only door crawlers get, plus the
+//!   [`Metered`] wrapper that enforces the query budget and keeps an audit
+//!   log (Yelp's 25 000-requests/day limit is what makes DeepEnrich a
+//!   budgeted problem in the first place).
+//!
+//! Query processing is deterministic: re-issuing a query yields the same
+//! page (the paper assumes deterministic query processing).
+
+pub mod engine;
+pub mod form;
+pub mod interface;
+pub mod ranking;
+pub mod record;
+
+pub use engine::{HiddenDb, HiddenDbBuilder, SearchMode};
+pub use form::FormEncoder;
+pub use interface::{Metered, QueryLogEntry, SearchError, SearchInterface, SearchPage};
+pub use ranking::Ranking;
+pub use record::{ExternalId, HiddenRecord, Retrieved};

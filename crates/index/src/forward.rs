@@ -1,0 +1,81 @@
+//! Forward index: record → queries it satisfies (paper Fig. 3(b)).
+//!
+//! When a local record `d` is removed from `D` (because it was covered, or
+//! predicted to lie in `ΔD`), only the queries in `F(d)` need their
+//! frequency `|q(D)|` decremented. `F(d)` is typically tiny compared to the
+//! pool, which is what makes the delta-update mechanism pay off.
+
+use crate::QueryId;
+use smartcrawl_text::RecordId;
+
+/// Immutable record → query-list mapping.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardIndex {
+    lists: Vec<Vec<QueryId>>,
+}
+
+impl ForwardIndex {
+    /// Builds the forward index for `num_records` records given, for each
+    /// query, the records it matches (`q(D)` from the inverted index).
+    ///
+    /// `query_matches` is visited in query-id order: `query_matches[q]` is
+    /// the match set of `QueryId(q)`.
+    pub fn build(num_records: usize, query_matches: &[Vec<RecordId>]) -> Self {
+        let mut lists: Vec<Vec<QueryId>> = vec![Vec::new(); num_records];
+        for (q, matches) in query_matches.iter().enumerate() {
+            let qid = QueryId(q as u32);
+            for &rid in matches {
+                lists[rid.index()].push(qid);
+            }
+        }
+        Self { lists }
+    }
+
+    /// `F(d)`: the queries satisfied by record `rid`.
+    pub fn queries_of(&self, rid: RecordId) -> &[QueryId] {
+        self.lists.get(rid.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of records covered by the index.
+    pub fn num_records(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of (record, query) incidences — `Σ_d |F(d)|`.
+    pub fn total_incidences(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_inverts_query_matches() {
+        // q0 matches {r0, r2}, q1 matches {r1}, q2 matches {r0, r1, r2}.
+        let matches = vec![
+            vec![RecordId(0), RecordId(2)],
+            vec![RecordId(1)],
+            vec![RecordId(0), RecordId(1), RecordId(2)],
+        ];
+        let f = ForwardIndex::build(3, &matches);
+        assert_eq!(f.queries_of(RecordId(0)), &[QueryId(0), QueryId(2)]);
+        assert_eq!(f.queries_of(RecordId(1)), &[QueryId(1), QueryId(2)]);
+        assert_eq!(f.queries_of(RecordId(2)), &[QueryId(0), QueryId(2)]);
+        assert_eq!(f.total_incidences(), 6);
+        assert_eq!(f.num_records(), 3);
+    }
+
+    #[test]
+    fn record_with_no_queries_has_empty_list() {
+        let f = ForwardIndex::build(2, &[vec![RecordId(0)]]);
+        assert_eq!(f.queries_of(RecordId(1)), &[]);
+    }
+
+    #[test]
+    fn out_of_range_record_yields_empty_slice() {
+        let f = ForwardIndex::build(1, &[]);
+        assert_eq!(f.queries_of(RecordId(42)), &[]);
+    }
+}

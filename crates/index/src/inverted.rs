@@ -1,0 +1,198 @@
+//! Inverted index over token-set documents (paper Fig. 3(a)).
+//!
+//! `|q(D)| = |⋂_{w ∈ q} I(w)|`: a conjunctive keyword query's frequency is
+//! the size of the intersection of the query keywords' posting lists. The
+//! intersection visits lists rarest-first and probes the remaining lists
+//! with galloping (doubling) search, which is near-optimal when list sizes
+//! are skewed — the common case under Zipfian vocabularies.
+
+use smartcrawl_text::{Document, RecordId, TokenId};
+
+/// An immutable inverted index: token → sorted list of record ids.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<RecordId>>,
+    num_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over `docs`; document `i` gets `RecordId(i)`.
+    ///
+    /// `vocab_size` must be at least as large as every token id occurring in
+    /// `docs` (use `Vocabulary::len()`).
+    pub fn build(docs: &[Document], vocab_size: usize) -> Self {
+        let mut postings: Vec<Vec<RecordId>> = vec![Vec::new(); vocab_size];
+        for (i, doc) in docs.iter().enumerate() {
+            let rid = RecordId(i as u32);
+            for token in doc.iter() {
+                assert!(token.index() < vocab_size, "token id out of vocabulary range");
+                postings[token.index()].push(rid);
+            }
+        }
+        // Documents are visited in ascending id order and each token occurs
+        // at most once per document, so every posting list is already
+        // sorted and deduplicated.
+        Self { postings, num_docs: docs.len() }
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The posting list `I(w)` for a token (empty if the token is unknown
+    /// or beyond the indexed vocabulary).
+    pub fn postings(&self, token: TokenId) -> &[RecordId] {
+        self.postings.get(token.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Document frequency of a single token.
+    pub fn doc_frequency(&self, token: TokenId) -> usize {
+        self.postings(token).len()
+    }
+
+    /// Materializes `q(D)`: the sorted ids of all documents containing every
+    /// token of `query`. An empty query matches nothing by convention (the
+    /// pool never contains the empty query).
+    pub fn matching(&self, query: &[TokenId]) -> Vec<RecordId> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
+        lists.sort_unstable_by_key(|l| l.len());
+        if lists[0].is_empty() {
+            return Vec::new();
+        }
+        let (seed, rest) = lists.split_first().expect("non-empty query");
+        let mut out = Vec::with_capacity(seed.len());
+        'cand: for &rid in *seed {
+            for list in rest {
+                if !gallop_contains(list, rid) {
+                    continue 'cand;
+                }
+            }
+            out.push(rid);
+        }
+        out
+    }
+
+    /// `|q(D)|` without materializing the match set.
+    pub fn frequency(&self, query: &[TokenId]) -> usize {
+        if query.is_empty() {
+            return 0;
+        }
+        let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
+        lists.sort_unstable_by_key(|l| l.len());
+        if lists[0].is_empty() {
+            return 0;
+        }
+        let (seed, rest) = lists.split_first().expect("non-empty query");
+        seed.iter()
+            .filter(|&&rid| rest.iter().all(|list| gallop_contains(list, rid)))
+            .count()
+    }
+
+    /// Whether at least one document satisfies the query.
+    pub fn any_match(&self, query: &[TokenId]) -> bool {
+        if query.is_empty() {
+            return false;
+        }
+        let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
+        lists.sort_unstable_by_key(|l| l.len());
+        let (seed, rest) = lists.split_first().expect("non-empty query");
+        seed.iter().any(|&rid| rest.iter().all(|list| gallop_contains(list, rid)))
+    }
+}
+
+/// Galloping membership probe on a sorted slice.
+fn gallop_contains(list: &[RecordId], target: RecordId) -> bool {
+    match list.first() {
+        None => return false,
+        Some(&f) if f == target => return true,
+        Some(&f) if f > target => return false,
+        _ => {}
+    }
+    // Exponentially widen until list[hi] >= target (or the end), then binary
+    // search the inclusive window [hi/2, hi].
+    let mut hi = 1usize;
+    while hi < list.len() && list[hi] < target {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let end = (hi + 1).min(list.len());
+    list[lo..end].binary_search(&target).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_text::TokenId;
+
+    fn docs(specs: &[&[u32]]) -> Vec<Document> {
+        specs
+            .iter()
+            .map(|s| Document::from_tokens(s.iter().map(|&t| TokenId(t)).collect()))
+            .collect()
+    }
+
+    fn rids(ids: &[u32]) -> Vec<RecordId> {
+        ids.iter().map(|&i| RecordId(i)).collect()
+    }
+
+    #[test]
+    fn postings_are_sorted_per_token() {
+        let idx = InvertedIndex::build(&docs(&[&[0, 1], &[1], &[0, 1, 2]]), 3);
+        assert_eq!(idx.postings(TokenId(0)), rids(&[0, 2]));
+        assert_eq!(idx.postings(TokenId(1)), rids(&[0, 1, 2]));
+        assert_eq!(idx.postings(TokenId(2)), rids(&[2]));
+        assert_eq!(idx.num_docs(), 3);
+    }
+
+    #[test]
+    fn running_example_frequencies() {
+        // Figure 1 local database: d1=Thai Noodle House, d2=Jade Noodle House,
+        // d3=Thai House, d4=Thai Noodle Express (a consistent stand-in).
+        // tokens: 0=thai 1=noodle 2=house 3=jade 4=express
+        let idx = InvertedIndex::build(
+            &docs(&[&[0, 1, 2], &[3, 1, 2], &[0, 2], &[0, 1, 4]]),
+            5,
+        );
+        // q5 = "house" → 3 records; q7 = "noodle house" → 2 records.
+        assert_eq!(idx.frequency(&[TokenId(2)]), 3);
+        assert_eq!(idx.frequency(&[TokenId(1), TokenId(2)]), 2);
+        assert_eq!(idx.matching(&[TokenId(1), TokenId(2)]), rids(&[0, 1]));
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let idx = InvertedIndex::build(&docs(&[&[0]]), 1);
+        assert_eq!(idx.frequency(&[]), 0);
+        assert!(idx.matching(&[]).is_empty());
+        assert!(!idx.any_match(&[]));
+    }
+
+    #[test]
+    fn unknown_token_matches_nothing() {
+        let idx = InvertedIndex::build(&docs(&[&[0]]), 1);
+        assert_eq!(idx.frequency(&[TokenId(99)]), 0);
+        assert!(idx.matching(&[TokenId(0), TokenId(99)]).is_empty());
+    }
+
+    #[test]
+    fn frequency_agrees_with_matching_len() {
+        let idx = InvertedIndex::build(
+            &docs(&[&[0, 1], &[0, 2], &[1, 2], &[0, 1, 2], &[3]]),
+            4,
+        );
+        for q in [&[TokenId(0)][..], &[TokenId(0), TokenId(1)], &[TokenId(0), TokenId(1), TokenId(2)]] {
+            assert_eq!(idx.frequency(q), idx.matching(q).len());
+        }
+    }
+
+    #[test]
+    fn any_match_detects_presence() {
+        let idx = InvertedIndex::build(&docs(&[&[0, 1], &[2]]), 3);
+        assert!(idx.any_match(&[TokenId(0), TokenId(1)]));
+        assert!(!idx.any_match(&[TokenId(0), TokenId(2)]));
+    }
+}

@@ -1,0 +1,290 @@
+//! Max-priority queue with deferred ("delta-update") priority maintenance
+//! (paper Fig. 3(c), Algorithm 4 lines 16–27).
+//!
+//! QSel-Est repeatedly needs `argmax_q benefit(q)` over a pool whose
+//! benefits decay as local records get covered. Rewriting every affected
+//! priority after each iteration would cost `O(|F(d)|·log|Q|)` heap
+//! operations per removed record. Instead, the queue keeps possibly-stale
+//! entries and the caller merely *marks* a query dirty when one of its
+//! matching records is removed. Only when a dirty query bubbles up to the
+//! top is its priority recomputed (via a caller-supplied closure, since the
+//! recomputation involves estimator state the queue knows nothing about) and
+//! the entry re-inserted. A popped entry is returned only if it is alive,
+//! current, and clean — so the returned query is a true maximum.
+//!
+//! Ties are broken deterministically by smaller [`QueryId`] (the paper
+//! breaks ties randomly; a fixed rule keeps experiments reproducible).
+
+use crate::QueryId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    priority: f64,
+    query: QueryId,
+    version: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .total_cmp(&other.priority)
+            .then_with(|| other.query.0.cmp(&self.query.0)) // smaller id wins ties
+    }
+}
+
+/// Lazily-updated max-priority queue keyed by [`QueryId`].
+#[derive(Debug, Clone, Default)]
+pub struct LazyQueue {
+    heap: BinaryHeap<Entry>,
+    version: Vec<u32>,
+    dirty: Vec<bool>,
+    alive: Vec<bool>,
+    live_count: usize,
+}
+
+impl LazyQueue {
+    /// Builds a queue over queries `0..priorities.len()` with the given
+    /// initial priorities.
+    pub fn new(priorities: &[f64]) -> Self {
+        let n = priorities.len();
+        let mut heap = BinaryHeap::with_capacity(n);
+        for (q, &p) in priorities.iter().enumerate() {
+            assert!(!p.is_nan(), "priority must not be NaN");
+            heap.push(Entry { priority: p, query: QueryId(q as u32), version: 0 });
+        }
+        Self {
+            heap,
+            version: vec![0; n],
+            dirty: vec![false; n],
+            alive: vec![true; n],
+            live_count: n,
+        }
+    }
+
+    /// Number of live (poppable) queries.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether no live query remains.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// (Re-)inserts `query` with `priority`. Revives a previously popped or
+    /// removed query. Any older entry for the query becomes stale.
+    pub fn push(&mut self, query: QueryId, priority: f64) {
+        assert!(!priority.is_nan(), "priority must not be NaN");
+        let i = query.index();
+        assert!(i < self.version.len(), "query id out of range");
+        if !self.alive[i] {
+            self.alive[i] = true;
+            self.live_count += 1;
+        }
+        self.version[i] += 1;
+        self.dirty[i] = false;
+        self.heap.push(Entry { priority, query, version: self.version[i] });
+    }
+
+    /// Marks `query`'s cached priority as stale (the delta-update map entry
+    /// `U(q) ≠ 0` in the paper). No-op for dead or out-of-range queries.
+    pub fn mark_dirty(&mut self, query: QueryId) {
+        if let Some(d) = self.dirty.get_mut(query.index()) {
+            if self.alive[query.index()] {
+                *d = true;
+            }
+        }
+    }
+
+    /// Permanently removes `query` from the pool without popping it.
+    pub fn remove(&mut self, query: QueryId) {
+        let i = query.index();
+        if i < self.alive.len() && self.alive[i] {
+            self.alive[i] = false;
+            self.live_count -= 1;
+        }
+    }
+
+    /// Whether `query` is currently live.
+    pub fn is_live(&self, query: QueryId) -> bool {
+        self.alive.get(query.index()).copied().unwrap_or(false)
+    }
+
+    /// Rebuilds every live entry with a freshly computed priority.
+    ///
+    /// Used when the priority *function* changes wholesale (e.g. a new
+    /// hidden-database sample arrives mid-crawl): lazy dirty-marking only
+    /// supports non-increasing priorities, while a refresh may raise them.
+    /// O(n log n); dead queries stay dead.
+    pub fn reprioritize(&mut self, mut priority: impl FnMut(QueryId) -> f64) {
+        self.heap.clear();
+        for i in 0..self.version.len() {
+            if !self.alive[i] {
+                continue;
+            }
+            let q = QueryId(i as u32);
+            let p = priority(q);
+            assert!(!p.is_nan(), "priority must not be NaN");
+            self.version[i] += 1;
+            self.dirty[i] = false;
+            self.heap.push(Entry { priority: p, query: q, version: self.version[i] });
+        }
+    }
+
+    /// Pops the live query with the (true) largest priority.
+    ///
+    /// `recompute(q)` is called when a dirty query reaches the top; it must
+    /// return the query's current priority. The popped query leaves the
+    /// pool (`Q = Q − {q*}` in Algorithms 1–4); [`LazyQueue::push`] revives
+    /// it if the caller wants it back (QSel-Bound does).
+    pub fn pop_max(&mut self, mut recompute: impl FnMut(QueryId) -> f64) -> Option<(QueryId, f64)> {
+        while let Some(entry) = self.heap.pop() {
+            let i = entry.query.index();
+            if !self.alive[i] || entry.version != self.version[i] {
+                continue; // stale or dead entry
+            }
+            if self.dirty[i] {
+                // Case (2) of §6.3: refresh the priority and re-insert.
+                let p = recompute(entry.query);
+                assert!(!p.is_nan(), "recomputed priority must not be NaN");
+                self.dirty[i] = false;
+                self.version[i] += 1;
+                self.heap.push(Entry { priority: p, query: entry.query, version: self.version[i] });
+                continue;
+            }
+            // Case (1): clean top entry — a true maximum.
+            self.alive[i] = false;
+            self.live_count -= 1;
+            return Some((entry.query, entry.priority));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> QueryId {
+        QueryId(i)
+    }
+
+    #[test]
+    fn pops_in_priority_order() {
+        let mut pq = LazyQueue::new(&[1.0, 3.0, 2.0]);
+        let no_recompute = |_q: QueryId| unreachable!("nothing is dirty");
+        assert_eq!(pq.pop_max(no_recompute), Some((q(1), 3.0)));
+        assert_eq!(pq.pop_max(no_recompute), Some((q(2), 2.0)));
+        assert_eq!(pq.pop_max(no_recompute), Some((q(0), 1.0)));
+        assert_eq!(pq.pop_max(no_recompute), None);
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_query_id() {
+        let mut pq = LazyQueue::new(&[5.0, 5.0, 5.0]);
+        let ids: Vec<_> = std::iter::from_fn(|| pq.pop_max(|_| 0.0).map(|(id, _)| id.0)).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dirty_entry_is_recomputed_before_popping() {
+        let mut pq = LazyQueue::new(&[10.0, 8.0]);
+        pq.mark_dirty(q(0));
+        // q0's true priority dropped to 5 — q1 must now win.
+        assert_eq!(pq.pop_max(|_| 5.0), Some((q(1), 8.0)));
+        assert_eq!(pq.pop_max(|_| unreachable!()), Some((q(0), 5.0)));
+    }
+
+    #[test]
+    fn recompute_happens_once_per_dirtying() {
+        let mut pq = LazyQueue::new(&[10.0, 1.0]);
+        pq.mark_dirty(q(0));
+        let mut calls = 0;
+        assert_eq!(
+            pq.pop_max(|_| {
+                calls += 1;
+                9.0
+            }),
+            Some((q(0), 9.0))
+        );
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn removed_query_is_never_popped() {
+        let mut pq = LazyQueue::new(&[10.0, 8.0]);
+        pq.remove(q(0));
+        assert_eq!(pq.len(), 1);
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(1), 8.0)));
+        assert_eq!(pq.pop_max(|_| 0.0), None);
+    }
+
+    #[test]
+    fn push_revives_popped_query() {
+        let mut pq = LazyQueue::new(&[4.0]);
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(0), 4.0)));
+        assert!(pq.is_empty());
+        pq.push(q(0), 2.5);
+        assert_eq!(pq.len(), 1);
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(0), 2.5)));
+    }
+
+    #[test]
+    fn push_supersedes_old_entries() {
+        let mut pq = LazyQueue::new(&[4.0, 3.0]);
+        pq.push(q(0), 1.0); // old 4.0 entry becomes stale
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(1), 3.0)));
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(0), 1.0)));
+    }
+
+    #[test]
+    fn mark_dirty_on_dead_query_is_noop() {
+        let mut pq = LazyQueue::new(&[4.0]);
+        pq.remove(q(0));
+        pq.mark_dirty(q(0));
+        assert_eq!(pq.pop_max(|_| unreachable!()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must not be NaN")]
+    fn nan_priorities_are_rejected() {
+        LazyQueue::new(&[f64::NAN]);
+    }
+
+    #[test]
+    fn reprioritize_rebuilds_live_entries_only() {
+        let mut pq = LazyQueue::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(pq.pop_max(|_| 0.0), Some((q(2), 3.0)));
+        pq.mark_dirty(q(0));
+        // New priority function *raises* q0 above q1 — something the
+        // dirty mechanism alone could not express soundly.
+        pq.reprioritize(|id| if id == q(0) { 10.0 } else { 1.0 });
+        assert_eq!(pq.len(), 2);
+        assert_eq!(pq.pop_max(|_| unreachable!("nothing dirty")), Some((q(0), 10.0)));
+        assert_eq!(pq.pop_max(|_| unreachable!()), Some((q(1), 1.0)));
+        assert_eq!(pq.pop_max(|_| 0.0), None, "popped q2 must stay dead");
+    }
+
+    #[test]
+    fn reprioritize_clears_stale_entries() {
+        let mut pq = LazyQueue::new(&[5.0, 4.0]);
+        pq.push(q(0), 9.0); // supersede
+        pq.reprioritize(|_| 1.0);
+        // Old 5.0/9.0 entries must not resurface.
+        assert_eq!(pq.pop_max(|_| unreachable!()), Some((q(0), 1.0)));
+        assert_eq!(pq.pop_max(|_| unreachable!()), Some((q(1), 1.0)));
+    }
+}

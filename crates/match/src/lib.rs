@@ -1,0 +1,16 @@
+//! Entity resolution for SmartCrawl (paper §2 treats it as a pluggable
+//! black box; §6.1 instantiates it with a Jaccard ≥ 0.9 similarity join).
+//!
+//! The crawler must decide, for every returned hidden record, which local
+//! records it covers. Under Assumption 3 this is exact document equality;
+//! in the fuzzy-matching setting it is a similarity join between `q(D)` and
+//! the returned top-k page. [`PageIndex`] makes that join cheap by
+//! token-blocking the (≤ k) page documents.
+
+pub mod join;
+pub mod matcher;
+pub mod schema;
+
+pub use join::PageIndex;
+pub use matcher::Matcher;
+pub use schema::{match_schemas, SchemaMatch};

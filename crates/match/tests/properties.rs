@@ -1,0 +1,81 @@
+//! Property tests: the blocked similarity join must agree with a brute
+//! force scan, and matcher semantics must be internally consistent.
+
+use proptest::prelude::*;
+use smartcrawl_match::{Matcher, PageIndex};
+use smartcrawl_text::similarity::jaccard;
+use smartcrawl_text::{Document, TokenId};
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    prop::collection::vec(0u32..16, 0..8)
+        .prop_map(|v| Document::from_tokens(v.into_iter().map(TokenId).collect()))
+}
+
+fn page_strategy() -> impl Strategy<Value = Vec<Document>> {
+    prop::collection::vec(doc_strategy(), 0..12)
+}
+
+/// Brute-force best match: highest similarity ≥ τ, ties → smallest index.
+fn brute_best(d: &Document, page: &[Document], threshold: f64) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, h) in page.iter().enumerate() {
+        let sim = jaccard(d, h);
+        if sim >= threshold {
+            match best {
+                None => best = Some((sim, i)),
+                Some((bs, _)) if sim > bs => best = Some((sim, i)),
+                _ => {}
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+proptest! {
+    #[test]
+    fn blocked_join_equals_brute_force(
+        d in doc_strategy(),
+        page in page_strategy(),
+        threshold in 0.05f64..1.0,
+    ) {
+        // Empty local documents have similarity 0 with any non-empty page
+        // doc and 1.0 with an empty one; blocking cannot find token-free
+        // candidates, so skip the degenerate case the join never sees
+        // (pool queries require |q(D)| ≥ 1 and documents are non-empty).
+        prop_assume!(!d.is_empty());
+        prop_assume!(page.iter().all(|h| !h.is_empty()));
+        let idx = PageIndex::build(page.clone());
+        let got = idx.find_match(&d, Matcher::Jaccard { threshold });
+        let expect = brute_best(&d, &page, threshold);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exact_match_agrees_with_scan(d in doc_strategy(), page in page_strategy()) {
+        let idx = PageIndex::build(page.clone());
+        let got = idx.find_match(&d, Matcher::Exact);
+        let expect = page.iter().position(|h| h == &d);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn exact_match_implies_jaccard_match(a in doc_strategy(), b in doc_strategy()) {
+        if Matcher::Exact.matches(&a, &b) {
+            let strict = Matcher::Jaccard { threshold: 1.0 }.matches(&a, &b);
+            let fuzzy = Matcher::paper_fuzzy().matches(&a, &b);
+            prop_assert!(strict);
+            prop_assert!(fuzzy);
+        }
+    }
+
+    #[test]
+    fn lower_threshold_matches_superset(
+        a in doc_strategy(), b in doc_strategy(),
+        lo in 0.05f64..0.5, hi in 0.5f64..1.0,
+    ) {
+        if (Matcher::Jaccard { threshold: hi }).matches(&a, &b) {
+            let loose = Matcher::Jaccard { threshold: lo }.matches(&a, &b);
+            prop_assert!(loose);
+        }
+    }
+}

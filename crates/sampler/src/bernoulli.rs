@@ -1,0 +1,105 @@
+//! Oracle samplers: used in the simulated experiments, where the
+//! experimenter owns the hidden database and the paper assumes `(Hs, θ)`
+//! are simply given (§5.1: "we treat deep web sampling as an orthogonal
+//! issue and assume that Hs and θ are given").
+
+use crate::HiddenSample;
+use rand::seq::index::sample as index_sample;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use smartcrawl_hidden::{HiddenDb, Retrieved};
+
+fn to_retrieved(db: &HiddenDb) -> impl Iterator<Item = Retrieved> + '_ {
+    db.iter().map(|r| Retrieved {
+        external_id: r.external_id,
+        fields: r.searchable.fields().to_vec(),
+        payload: r.payload.clone(),
+    })
+}
+
+/// Includes every hidden record independently with probability `theta`.
+///
+/// The reported ratio is the *nominal* θ (what a Bernoulli design
+/// publishes), not the realized fraction — estimator unbiasedness proofs
+/// (Lemma 3) are with respect to the design probability.
+pub fn bernoulli_sample(db: &HiddenDb, theta: f64, seed: u64) -> HiddenSample {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = to_retrieved(db)
+        .filter(|_| rng.gen_bool(theta))
+        .collect();
+    HiddenSample { records, theta }
+}
+
+/// Draws exactly `n` records uniformly without replacement; θ = n / |H|.
+pub fn uniform_sample(db: &HiddenDb, n: usize, seed: u64) -> HiddenSample {
+    assert!(n <= db.len(), "sample size exceeds database size");
+    if db.is_empty() {
+        return HiddenSample { records: Vec::new(), theta: 0.0 };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<Retrieved> = to_retrieved(db).collect();
+    let mut idx: Vec<usize> = index_sample(&mut rng, all.len(), n).into_vec();
+    idx.sort_unstable();
+    let records: Vec<Retrieved> = idx.into_iter().map(|i| all[i].clone()).collect();
+    let theta = n as f64 / db.len() as f64;
+    HiddenSample { records, theta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_hidden::{HiddenDbBuilder, HiddenRecord};
+    use smartcrawl_text::Record;
+
+    fn db(n: usize) -> HiddenDb {
+        HiddenDbBuilder::new()
+            .records((0..n).map(|i| {
+                HiddenRecord::new(i as u64, Record::from([format!("record {i}")]), vec![], i as f64)
+            }))
+            .build()
+    }
+
+    #[test]
+    fn bernoulli_respects_theta_on_average() {
+        let h = db(2000);
+        let s = bernoulli_sample(&h, 0.1, 42);
+        // 2000 trials at p=0.1: expect ~200, allow generous slack.
+        assert!((120..=280).contains(&s.len()), "got {}", s.len());
+        assert_eq!(s.theta, 0.1);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed() {
+        let h = db(100);
+        let a = bernoulli_sample(&h, 0.3, 7);
+        let b = bernoulli_sample(&h, 0.3, 7);
+        assert_eq!(a.records.len(), b.records.len());
+        assert!(a.records.iter().zip(&b.records).all(|(x, y)| x.external_id == y.external_id));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let h = db(50);
+        assert_eq!(bernoulli_sample(&h, 0.0, 1).len(), 0);
+        assert_eq!(bernoulli_sample(&h, 1.0, 1).len(), 50);
+    }
+
+    #[test]
+    fn uniform_sample_has_exact_size_and_ratio() {
+        let h = db(200);
+        let s = uniform_sample(&h, 20, 9);
+        assert_eq!(s.len(), 20);
+        assert!((s.theta - 0.1).abs() < 1e-12);
+        // No duplicates.
+        let mut ids: Vec<u64> = s.records.iter().map(|r| r.external_id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size exceeds database size")]
+    fn uniform_sample_rejects_oversize() {
+        uniform_sample(&db(3), 4, 0);
+    }
+}

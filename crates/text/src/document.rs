@@ -1,0 +1,162 @@
+//! Token-set documents (paper Definition 1).
+//!
+//! A document is the *set* of distinct keywords of a record. We store it as
+//! a sorted `Vec<TokenId>`: containment is a binary search, subset tests and
+//! intersections are linear merges, and equality of documents is plain
+//! `Vec` equality — which makes "exact matching" (Assumption 3:
+//! `document(d) = document(h)`) a cheap comparison.
+
+use crate::vocab::TokenId;
+
+/// A sorted, deduplicated set of tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Document {
+    tokens: Vec<TokenId>,
+}
+
+impl Document {
+    /// Builds a document from an arbitrary token list (sorts + dedups).
+    pub fn from_tokens(mut tokens: Vec<TokenId>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        Self { tokens }
+    }
+
+    /// Builds a document from tokens already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted(tokens: Vec<TokenId>) -> Self {
+        debug_assert!(tokens.windows(2).all(|w| w[0] < w[1]), "tokens must be strictly sorted");
+        Self { tokens }
+    }
+
+    /// The empty document.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct tokens (`|d|` in the paper).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The sorted token slice.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Whether the document contains `token`.
+    pub fn contains(&self, token: TokenId) -> bool {
+        self.tokens.binary_search(&token).is_ok()
+    }
+
+    /// Whether the document contains *all* of `query` — i.e. whether the
+    /// record satisfies the conjunctive keyword query (Definition 1).
+    ///
+    /// `query` must be sorted (as produced by [`Document::tokens`] or the
+    /// query types built on top of it); this lets us do a linear merge scan.
+    pub fn contains_all(&self, query: &[TokenId]) -> bool {
+        debug_assert!(query.windows(2).all(|w| w[0] < w[1]));
+        if query.len() > self.tokens.len() {
+            return false;
+        }
+        let mut pos = 0usize;
+        for &q in query {
+            match self.tokens[pos..].binary_search(&q) {
+                Ok(i) => pos += i + 1,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Size of the intersection with another document.
+    pub fn intersection_size(&self, other: &Document) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.tokens, &other.tokens);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Size of the union with another document.
+    pub fn union_size(&self, other: &Document) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Iterates over the tokens in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.tokens.iter().copied()
+    }
+}
+
+impl FromIterator<TokenId> for Document {
+    fn from_iter<I: IntoIterator<Item = TokenId>>(iter: I) -> Self {
+        Self::from_tokens(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(ids: &[u32]) -> Document {
+        Document::from_tokens(ids.iter().map(|&i| TokenId(i)).collect())
+    }
+
+    #[test]
+    fn from_tokens_sorts_and_dedups() {
+        let d = doc(&[5, 1, 3, 1, 5]);
+        assert_eq!(d.tokens(), &[TokenId(1), TokenId(3), TokenId(5)]);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_contains_all() {
+        let d = doc(&[1, 3, 5, 9]);
+        assert!(d.contains(TokenId(3)));
+        assert!(!d.contains(TokenId(4)));
+        assert!(d.contains_all(&[TokenId(1), TokenId(9)]));
+        assert!(d.contains_all(&[]));
+        assert!(!d.contains_all(&[TokenId(1), TokenId(4)]));
+        // Query longer than document can never match.
+        assert!(!d.contains_all(&[TokenId(1), TokenId(3), TokenId(5), TokenId(9), TokenId(10)]));
+    }
+
+    #[test]
+    fn intersection_and_union_sizes() {
+        let a = doc(&[1, 2, 3, 4]);
+        let b = doc(&[3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert_eq!(a.intersection_size(&Document::empty()), 0);
+        assert_eq!(a.union_size(&Document::empty()), 4);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        assert_eq!(doc(&[2, 1, 1]), doc(&[1, 2]));
+        assert_ne!(doc(&[1, 2]), doc(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let d: Document = [TokenId(4), TokenId(2), TokenId(4)].into_iter().collect();
+        assert_eq!(d.tokens(), &[TokenId(2), TokenId(4)]);
+    }
+}

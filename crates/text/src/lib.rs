@@ -1,0 +1,33 @@
+//! Text substrate for the SmartCrawl reproduction.
+//!
+//! The paper (Definition 1) models every record — local or hidden — as a
+//! *document*: the set of distinct keywords obtained by concatenating all of
+//! the record's attributes. A keyword query is likewise a set of keywords,
+//! and a record *satisfies* a query iff its document contains every query
+//! keyword (stop words excluded).
+//!
+//! This crate provides exactly that model:
+//!
+//! * [`Vocabulary`] — a deterministic string interner mapping keywords to
+//!   dense [`TokenId`]s so the rest of the system can work on integers.
+//! * [`Tokenizer`] — normalization (lowercasing, alphanumeric splitting,
+//!   stop-word removal) shared by the local database, the hidden database
+//!   simulator, and the crawler.
+//! * [`Document`] — a sorted, deduplicated token set with fast containment
+//!   and intersection operations.
+//! * [`Record`] — an attribute-tuple wrapper whose document is the
+//!   concatenation of its fields.
+//! * [`similarity`] — Jaccard/Dice/overlap coefficients and Levenshtein
+//!   distance, used by the fuzzy-matching layer (paper §6.1).
+
+pub mod document;
+pub mod record;
+pub mod similarity;
+pub mod stopwords;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use document::Document;
+pub use record::{Record, RecordId};
+pub use tokenizer::Tokenizer;
+pub use vocab::{TokenId, Vocabulary};

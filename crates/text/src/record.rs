@@ -1,0 +1,94 @@
+//! Attribute-tuple records.
+//!
+//! Both the local database `D` and the hidden database `H` are modeled as
+//! relational tables (paper §2). A [`Record`] is one tuple; its *document*
+//! is the tokenization of all of its fields concatenated. Schemas are held
+//! by the owning database, not the record, to keep records compact.
+
+use crate::document::Document;
+use crate::tokenizer::Tokenizer;
+use crate::vocab::Vocabulary;
+
+/// Position of a record within its owning database (dense, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One relational tuple: an ordered list of attribute values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    fields: Vec<String>,
+}
+
+impl Record {
+    /// Creates a record from attribute values.
+    pub fn new(fields: Vec<String>) -> Self {
+        Self { fields }
+    }
+
+    /// The attribute values in schema order.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// Mutable access to the attribute values (used by error injection).
+    pub fn fields_mut(&mut self) -> &mut Vec<String> {
+        &mut self.fields
+    }
+
+    /// All fields concatenated with spaces — the raw text behind
+    /// `document(·)` and the text NaiveCrawl issues as a query.
+    pub fn full_text(&self) -> String {
+        self.fields.join(" ")
+    }
+
+    /// The record's document under `tokenizer`, interning into `vocab`.
+    pub fn document(&self, tokenizer: &Tokenizer, vocab: &mut Vocabulary) -> Document {
+        tokenizer.tokenize_fields(&self.fields, vocab)
+    }
+}
+
+impl<S: Into<String>, const N: usize> From<[S; N]> for Record {
+    fn from(fields: [S; N]) -> Self {
+        Self::new(fields.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_text_joins_fields() {
+        let r = Record::from(["Thai House", "Vancouver"]);
+        assert_eq!(r.full_text(), "Thai House Vancouver");
+    }
+
+    #[test]
+    fn document_tokenizes_all_fields() {
+        let r = Record::from(["Noodle House", "Noodle Bar"]);
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let d = r.document(&tok, &mut v);
+        assert_eq!(d.len(), 3); // noodle, house, bar
+    }
+
+    #[test]
+    fn fields_mut_allows_error_injection() {
+        let mut r = Record::from(["Lotus of Siam"]);
+        r.fields_mut()[0].push_str(" 12345");
+        assert_eq!(r.fields()[0], "Lotus of Siam 12345");
+    }
+
+    #[test]
+    fn record_id_index_round_trip() {
+        assert_eq!(RecordId(7).index(), 7);
+    }
+}

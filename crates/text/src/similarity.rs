@@ -1,0 +1,108 @@
+//! Similarity measures for fuzzy matching (paper §6.1).
+//!
+//! The paper performs a similarity join between `q(D)` and the returned
+//! top-k page, with Jaccard similarity at threshold 0.9 as the running
+//! choice. We provide Jaccard, Dice, and overlap coefficients on token-set
+//! documents, plus Levenshtein distance on raw strings for diagnostics.
+
+use crate::document::Document;
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two documents.
+///
+/// Two empty documents are defined to have similarity 1.0 (they are equal).
+pub fn jaccard(a: &Document, b: &Document) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection_size(b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`.
+pub fn dice(a: &Document, b: &Document) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * a.intersection_size(b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap(a: &Document, b: &Document) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    a.intersection_size(b) as f64 / a.len().min(b.len()) as f64
+}
+
+/// Levenshtein edit distance between two strings (character-level).
+///
+/// Classic two-row dynamic program: O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::TokenId;
+
+    fn doc(ids: &[u32]) -> Document {
+        Document::from_tokens(ids.iter().map(|&i| TokenId(i)).collect())
+    }
+
+    #[test]
+    fn jaccard_basic_cases() {
+        assert_eq!(jaccard(&doc(&[1, 2]), &doc(&[1, 2])), 1.0);
+        assert_eq!(jaccard(&doc(&[1, 2]), &doc(&[3, 4])), 0.0);
+        assert!((jaccard(&doc(&[1, 2, 3]), &doc(&[2, 3, 4])) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&Document::empty(), &Document::empty()), 1.0);
+        assert_eq!(jaccard(&Document::empty(), &doc(&[1])), 0.0);
+    }
+
+    #[test]
+    fn dice_basic_cases() {
+        assert_eq!(dice(&doc(&[1]), &doc(&[1])), 1.0);
+        assert!((dice(&doc(&[1, 2, 3]), &doc(&[2, 3, 4])) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(dice(&Document::empty(), &Document::empty()), 1.0);
+    }
+
+    #[test]
+    fn overlap_basic_cases() {
+        // Subset has overlap 1.0 regardless of size difference.
+        assert_eq!(overlap(&doc(&[1, 2]), &doc(&[1, 2, 3, 4, 5])), 1.0);
+        assert_eq!(overlap(&doc(&[1]), &doc(&[2])), 0.0);
+        assert_eq!(overlap(&Document::empty(), &Document::empty()), 1.0);
+        assert_eq!(overlap(&Document::empty(), &doc(&[1])), 0.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("restaurant", "rest"), 6);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+}

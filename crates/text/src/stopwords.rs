@@ -1,0 +1,54 @@
+//! English stop words.
+//!
+//! The paper's conjunctive-keyword-search definition explicitly excludes
+//! stop words from query keywords ("we do not consider stop words as query
+//! keywords", §2). The simulated DBLP search engine likewise removes stop
+//! words before indexing (§7.1.1). We use a compact list covering the
+//! function words that actually occur in publication titles and business
+//! names; domain tokens are never stop words.
+
+/// The built-in English stop-word list, lowercase, sorted.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "before", "being", "between", "both", "but", "by", "can", "could", "did", "do", "does",
+    "doing", "down", "during", "each", "few", "for", "from", "further", "had", "has", "have",
+    "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into", "is",
+    "it", "its", "itself", "just", "me", "more", "most", "my", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "same",
+    "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs", "them",
+    "then", "there", "these", "they", "this", "those", "through", "to", "too", "under", "until",
+    "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "will", "with", "you", "your", "yours",
+];
+
+/// Returns `true` if `word` (already lowercased) is a stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "of", "and", "a", "in", "with"] {
+            assert!(is_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn domain_words_are_not_stopwords() {
+        for w in ["database", "thai", "noodle", "house", "crawling"] {
+            assert!(!is_stopword(w), "{w} must not be a stop word");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Normalization pipeline shared by every index in the system.
+//!
+//! The local database, the hidden-database simulator, and the crawler must
+//! agree on what a "keyword" is, otherwise the conjunctive-containment
+//! semantics of Definition 1 silently diverge between the two sides. The
+//! pipeline is: lowercase → split on non-alphanumeric → drop tokens shorter
+//! than `min_token_len` → drop stop words → dedup (set semantics).
+
+use crate::document::Document;
+use crate::stopwords::is_stopword;
+use crate::vocab::Vocabulary;
+
+/// Configurable tokenizer.
+///
+/// # Examples
+///
+/// ```
+/// use smartcrawl_text::{Tokenizer, Vocabulary};
+///
+/// let tok = Tokenizer::default();
+/// let mut vocab = Vocabulary::new();
+/// let doc = tok.tokenize("Lotus of Siam", &mut vocab);
+/// // "of" is a stop word; two keywords remain.
+/// assert_eq!(doc.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Remove stop words (paper §2 excludes them from query keywords).
+    pub remove_stopwords: bool,
+    /// Minimum token length in characters; shorter tokens are dropped.
+    pub min_token_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self { remove_stopwords: true, min_token_len: 1 }
+    }
+}
+
+impl Tokenizer {
+    /// Yields normalized raw keywords (lowercased, filtered) of `text`.
+    pub fn raw_tokens<'a>(&'a self, text: &'a str) -> impl Iterator<Item = String> + 'a {
+        text.split(|c: char| !c.is_alphanumeric())
+            .filter(move |t| t.chars().count() >= self.min_token_len && !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .filter(move |t| !self.remove_stopwords || !is_stopword(t))
+    }
+
+    /// Tokenizes `text` into a [`Document`], interning new keywords.
+    pub fn tokenize(&self, text: &str, vocab: &mut Vocabulary) -> Document {
+        self.raw_tokens(text).map(|t| vocab.intern(&t)).collect()
+    }
+
+    /// Tokenizes the concatenation of `fields` (paper: `document(·)`
+    /// concatenates all attributes of the record).
+    pub fn tokenize_fields<S: AsRef<str>>(&self, fields: &[S], vocab: &mut Vocabulary) -> Document {
+        fields
+            .iter()
+            .flat_map(|f| self.raw_tokens(f.as_ref()).collect::<Vec<_>>())
+            .map(|t| vocab.intern(&t))
+            .collect()
+    }
+
+    /// Tokenizes without interning: keywords not already in `vocab` are
+    /// dropped. Used when probing an existing index with foreign text —
+    /// an unseen keyword cannot match anything in the index anyway.
+    pub fn tokenize_known(&self, text: &str, vocab: &Vocabulary) -> Document {
+        self.raw_tokens(text).filter_map(|t| vocab.get(&t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits_on_punctuation() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize("Thai-Noodle HOUSE, (Downtown)", &mut v);
+        let words: Vec<_> = d.iter().map(|t| v.word(t).to_owned()).collect();
+        let mut expect = vec!["thai", "noodle", "house", "downtown"];
+        expect.sort_unstable_by_key(|w| v.get(w).unwrap());
+        assert_eq!(words, expect);
+    }
+
+    #[test]
+    fn removes_stopwords_by_default() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize("The Lotus of Siam", &mut v);
+        assert_eq!(d.len(), 2);
+        assert!(v.get("the").is_none());
+        assert!(v.get("of").is_none());
+    }
+
+    #[test]
+    fn stopword_removal_can_be_disabled() {
+        let tok = Tokenizer { remove_stopwords: false, ..Tokenizer::default() };
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize("the of lotus", &mut v);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn dedups_repeated_keywords() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize("noodle noodle noodle house", &mut v);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn tokenize_fields_concatenates_attributes() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize_fields(&["Thai House", "Vancouver", "4.1"], &mut v);
+        // "4.1" splits on '.' into "4" and "1": thai, house, vancouver, 4, 1.
+        assert_eq!(d.len(), 5);
+        assert!(v.get("thai").is_some());
+        assert!(v.get("vancouver").is_some());
+    }
+
+    #[test]
+    fn tokenize_known_drops_foreign_tokens_without_interning() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        tok.tokenize("thai house", &mut v);
+        let before = v.len();
+        let d = tok.tokenize_known("thai pavilion", &v);
+        assert_eq!(v.len(), before);
+        assert_eq!(d.len(), 1); // only "thai" known
+    }
+
+    #[test]
+    fn min_token_len_filters_short_tokens() {
+        let tok = Tokenizer { min_token_len: 3, ..Tokenizer::default() };
+        let mut v = Vocabulary::new();
+        let d = tok.tokenize("db x conf", &mut v);
+        assert_eq!(d.len(), 1); // only "conf" has ≥ 3 chars
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_text_yields_empty_document() {
+        let tok = Tokenizer::default();
+        let mut v = Vocabulary::new();
+        assert!(tok.tokenize("", &mut v).is_empty());
+        assert!(tok.tokenize("--- ... !!!", &mut v).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! String interning: keywords to dense integer [`TokenId`]s.
+//!
+//! Every component of the system (local-database index, hidden-database
+//! sample index, query pool, frequent-pattern miner) manipulates keywords as
+//! integers. Interning is deterministic: ids are assigned in first-seen
+//! order, so a fixed insertion order yields a fixed id assignment, which
+//! keeps every experiment reproducible.
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned keyword.
+///
+/// `TokenId`s are only meaningful relative to the [`Vocabulary`] that
+/// produced them. They are `u32` because realistic vocabularies (DBLP-scale)
+/// are far below 2³² distinct keywords and the smaller width halves posting
+/// list memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deterministic string interner.
+///
+/// # Examples
+///
+/// ```
+/// use smartcrawl_text::Vocabulary;
+///
+/// let mut vocab = Vocabulary::new();
+/// let thai = vocab.intern("thai");
+/// assert_eq!(vocab.intern("thai"), thai);
+/// assert_eq!(vocab.word(thai), "thai");
+/// assert_eq!(vocab.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    ids: HashMap<String, TokenId>,
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty vocabulary with room for `capacity` keywords.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ids: HashMap::with_capacity(capacity),
+            words: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `word`, returning its id. Idempotent.
+    pub fn intern(&mut self, word: &str) -> TokenId {
+        if let Some(&id) = self.ids.get(word) {
+            return id;
+        }
+        let id = TokenId(u32::try_from(self.words.len()).expect("vocabulary overflow"));
+        self.ids.insert(word.to_owned(), id);
+        self.words.push(word.to_owned());
+        id
+    }
+
+    /// Looks up an already-interned word without inserting.
+    pub fn get(&self, word: &str) -> Option<TokenId> {
+        self.ids.get(word).copied()
+    }
+
+    /// The keyword behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn word(&self, id: TokenId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Number of distinct interned keywords.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no keyword has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (TokenId(i as u32), w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_first_seen_order() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), TokenId(0));
+        assert_eq!(v.intern("b"), TokenId(1));
+        assert_eq!(v.intern("a"), TokenId(0));
+        assert_eq!(v.intern("c"), TokenId(2));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.get("x"), None);
+        let id = v.intern("x");
+        assert_eq!(v.get("x"), Some(id));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn word_round_trips() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = ["noodle", "house", "thai"]
+            .iter()
+            .map(|w| v.intern(w))
+            .collect();
+        assert_eq!(v.word(ids[0]), "noodle");
+        assert_eq!(v.word(ids[1]), "house");
+        assert_eq!(v.word(ids[2]), "thai");
+    }
+
+    #[test]
+    fn iter_yields_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("b");
+        v.intern("a");
+        let pairs: Vec<_> = v.iter().map(|(i, w)| (i.0, w.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "b".to_owned()), (1, "a".to_owned())]);
+    }
+
+    #[test]
+    fn empty_vocabulary_reports_empty() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

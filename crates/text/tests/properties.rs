@@ -1,0 +1,86 @@
+//! Property-based tests for the text substrate.
+
+use proptest::prelude::*;
+use smartcrawl_text::similarity::{dice, jaccard, levenshtein, overlap};
+use smartcrawl_text::{Document, TokenId, Tokenizer, Vocabulary};
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    prop::collection::vec(0u32..64, 0..24)
+        .prop_map(|v| Document::from_tokens(v.into_iter().map(TokenId).collect()))
+}
+
+proptest! {
+    #[test]
+    fn document_tokens_are_strictly_sorted(d in doc_strategy()) {
+        prop_assert!(d.tokens().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn document_contains_all_of_itself(d in doc_strategy()) {
+        prop_assert!(d.contains_all(d.tokens()));
+    }
+
+    #[test]
+    fn contains_all_matches_naive_subset(d in doc_strategy(), q in doc_strategy()) {
+        let naive = q.iter().all(|t| d.tokens().contains(&t));
+        prop_assert_eq!(d.contains_all(q.tokens()), naive);
+    }
+
+    #[test]
+    fn intersection_size_is_symmetric_and_bounded(a in doc_strategy(), b in doc_strategy()) {
+        let ab = a.intersection_size(&b);
+        prop_assert_eq!(ab, b.intersection_size(&a));
+        prop_assert!(ab <= a.len().min(b.len()));
+        prop_assert_eq!(a.union_size(&b), a.len() + b.len() - ab);
+    }
+
+    #[test]
+    fn jaccard_in_unit_interval_and_symmetric(a in doc_strategy(), b in doc_strategy()) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j.to_bits(), jaccard(&b, &a).to_bits());
+        // Jaccard 1.0 iff equal sets.
+        prop_assert_eq!(j == 1.0, a == b);
+    }
+
+    #[test]
+    fn similarity_ordering_jaccard_le_dice_le_overlap(a in doc_strategy(), b in doc_strategy()) {
+        // For non-degenerate sets: jaccard <= dice <= overlap.
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let (j, d, o) = (jaccard(&a, &b), dice(&a, &b), overlap(&a, &b));
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= o + 1e-12);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
+    ) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_zero_iff_equal(a in "[a-c]{0,8}", b in "[a-c]{0,8}") {
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+    }
+
+    #[test]
+    fn tokenizer_is_idempotent_through_vocab(words in prop::collection::vec("[a-z]{1,8}", 0..12)) {
+        let tok = Tokenizer::default();
+        let mut vocab = Vocabulary::new();
+        let text = words.join(" ");
+        let d1 = tok.tokenize(&text, &mut vocab);
+        let d2 = tok.tokenize(&text, &mut vocab);
+        prop_assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn tokenize_known_is_subset_of_tokenize(words in prop::collection::vec("[a-z]{1,8}", 0..12)) {
+        let tok = Tokenizer::default();
+        let mut vocab = Vocabulary::new();
+        let text = words.join(" ");
+        let full = tok.tokenize(&text, &mut vocab);
+        let known = tok.tokenize_known(&text, &vocab);
+        prop_assert_eq!(known, full);
+    }
+}

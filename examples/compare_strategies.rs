@@ -1,0 +1,121 @@
+//! Side-by-side comparison of every crawler on one scenario: IdealCrawl,
+//! SmartCrawl-B/-U, QSel-Simple, QSel-Bound, NaiveCrawl, FullCrawl —
+//! the cast of the paper's §7 in one table.
+//!
+//! ```sh
+//! cargo run --release --example compare_strategies
+//! ```
+
+use deeper::data::{Scenario, ScenarioConfig};
+use deeper::{
+    bernoulli_sample, full_crawl, ideal_crawl, naive_crawl, smart_crawl, CrawlReport,
+    HiddenSample, IdealCrawlConfig, LocalDb, Matcher, Metered, PoolConfig, SmartCrawlConfig,
+    Strategy, TextContext,
+};
+
+fn ground_truth_coverage(report: &CrawlReport, scenario: &Scenario) -> usize {
+    let mut crawled = std::collections::HashSet::new();
+    for s in &report.steps {
+        for &e in &s.returned {
+            if let Some(ent) = scenario.truth.entity_of_external(e) {
+                crawled.insert(ent);
+            }
+        }
+    }
+    (0..scenario.truth.num_local())
+        .filter(|&i| crawled.contains(&scenario.truth.local_entity(i)))
+        .count()
+}
+
+fn main() {
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = 20_000;
+    cfg.local_size = 2_000;
+    cfg.delta_d = 100;
+    cfg.k = 50;
+    let scenario = Scenario::build(cfg);
+    let budget = 400; // 20% of |D|
+    let theta = 0.005;
+    let pool = PoolConfig::default();
+    let matcher = Matcher::Exact;
+
+    println!(
+        "|H| = {}, |D| = {}, |ΔD| = {}, k = {}, b = {}, θ = {theta}\n",
+        scenario.hidden.len(),
+        scenario.local.len(),
+        scenario.config.delta_d,
+        scenario.config.k,
+        budget
+    );
+    println!("{:<16} {:>10} {:>10} {:>12}", "approach", "covered", "recall%", "per-query");
+
+    let run = |name: &str, report: CrawlReport| {
+        let covered = ground_truth_coverage(&report, &scenario);
+        let matchable = scenario.truth.matchable_count();
+        println!(
+            "{:<16} {:>10} {:>9.1}% {:>12.2}",
+            name,
+            covered,
+            100.0 * covered as f64 / matchable as f64,
+            covered as f64 / report.queries_issued().max(1) as f64
+        );
+    };
+
+    // IdealCrawl (oracle upper bound).
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let mut iface = Metered::new(&scenario.hidden, Some(budget));
+    run(
+        "IdealCrawl",
+        ideal_crawl(
+            &local,
+            &mut iface,
+            &scenario.hidden,
+            &IdealCrawlConfig { budget, matcher, pool },
+            ctx,
+        ),
+    );
+
+    // SmartCrawl variants.
+    for (name, strategy, sample) in [
+        (
+            "SmartCrawl-B",
+            Strategy::est_biased(),
+            bernoulli_sample(&scenario.hidden, theta, 1),
+        ),
+        (
+            "SmartCrawl-U",
+            Strategy::est_unbiased(),
+            bernoulli_sample(&scenario.hidden, theta, 1),
+        ),
+        ("QSel-Simple", Strategy::Simple, HiddenSample { records: vec![], theta: 0.0 }),
+        ("QSel-Bound", Strategy::Bound, HiddenSample { records: vec![], theta: 0.0 }),
+    ] {
+        let mut ctx = TextContext::new();
+        let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+        let mut iface = Metered::new(&scenario.hidden, Some(budget));
+        run(
+            name,
+            smart_crawl(
+                &local,
+                &sample,
+                &mut iface,
+                &SmartCrawlConfig { budget, strategy, matcher, pool, omega: 1.0 },
+                ctx,
+            ),
+        );
+    }
+
+    // NaiveCrawl.
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let mut iface = Metered::new(&scenario.hidden, Some(budget));
+    run("NaiveCrawl", naive_crawl(&local, &mut iface, budget, matcher, 1, ctx));
+
+    // FullCrawl with its own 1% sample.
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let mut iface = Metered::new(&scenario.hidden, Some(budget));
+    let full_sample = bernoulli_sample(&scenario.hidden, 0.01, 2);
+    run("FullCrawl", full_crawl(&local, &full_sample, &mut iface, budget, matcher, ctx));
+}

@@ -1,0 +1,90 @@
+//! Enrich a publication list with citation counts from a simulated
+//! DBLP-like hidden database — the paper's §1 motivating scenario ("a data
+//! scientist collects a list of VLDB papers and wants to know the citation
+//! of each paper").
+//!
+//! ```sh
+//! cargo run --release --example enrich_publications
+//! ```
+
+use deeper::data::{Domain, Scenario, ScenarioConfig};
+use deeper::{
+    bernoulli_sample, smart_crawl, LocalDb, Matcher, Metered, PoolConfig, SmartCrawlConfig,
+    Strategy, TextContext,
+};
+
+fn main() {
+    // A 20k-publication hidden database, 2k local records to enrich.
+    let cfg = ScenarioConfig {
+        domain: Domain::Publications,
+        hidden_size: 20_000,
+        local_size: 2_000,
+        delta_d: 50, // a few local papers are missing from the hidden side
+        k: 100,
+        error_pct: 0.0,
+        drift_pct: 0.0,
+        mode: deeper::hidden::SearchMode::Conjunctive,
+        ranking: deeper::hidden::Ranking::SignalDesc, // DBLP ranks by year
+        seed: 2024,
+        recent_local: false,
+    };
+    let scenario = Scenario::build(cfg);
+
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let sample = bernoulli_sample(&scenario.hidden, 0.005, 9); // θ = 0.5%
+
+    let budget = 400; // 20% of |D|
+    let mut iface = Metered::new(&scenario.hidden, Some(budget));
+    let crawl_cfg = SmartCrawlConfig {
+        budget,
+        strategy: Strategy::est_biased(),
+        matcher: Matcher::Exact,
+        pool: PoolConfig::default(),
+        omega: 1.0,
+    };
+    let report = smart_crawl(&local, &sample, &mut iface, &crawl_cfg, ctx);
+
+    println!(
+        "SmartCrawl-B: {} queries issued, {} of {} local papers enriched ({:.1}%)",
+        report.queries_issued(),
+        report.covered_claimed(),
+        local.len(),
+        100.0 * report.covered_claimed() as f64 / local.len() as f64
+    );
+
+    // Ground-truth check (the harness's view): how many coverages are real?
+    let truly_covered = {
+        let mut crawled = std::collections::HashSet::new();
+        for s in &report.steps {
+            for &e in &s.returned {
+                if let Some(ent) = scenario.truth.entity_of_external(e) {
+                    crawled.insert(ent);
+                }
+            }
+        }
+        (0..scenario.truth.num_local())
+            .filter(|&i| crawled.contains(&scenario.truth.local_entity(i)))
+            .count()
+    };
+    println!("ground-truth coverage: {truly_covered} records");
+
+    println!("\nfirst few enriched rows (title → citations):");
+    for pair in report.enriched.iter().take(8) {
+        let title = &scenario.local[pair.local].fields()[0];
+        let citations = pair.payload.first().map(String::as_str).unwrap_or("?");
+        println!("  {:<60} {:>6}", truncate(title, 58), citations);
+    }
+    println!(
+        "\nan average query covered {:.2} papers — NaiveCrawl covers at most 1 per query.",
+        report.covered_claimed() as f64 / report.queries_issued().max(1) as f64
+    );
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_owned()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: enrich a five-restaurant local table with ratings from a
+//! simulated hidden database, using a budget of three keyword queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use deeper::{
+    bernoulli_sample, smart_crawl, HiddenDbBuilder, HiddenRecord, LocalDb, Matcher, Metered,
+    PoolConfig, SmartCrawlConfig, Strategy, TextContext,
+};
+use deeper::text::Record;
+
+fn main() {
+    // The hidden database: a "Yelp" we can only query through top-k
+    // keyword search. Each record carries a rating payload we want.
+    let hidden = HiddenDbBuilder::new()
+        .k(2) // the interface returns at most 2 results per query
+        .records([
+            HiddenRecord::new(0, Record::from(["Thai Noodle House", "Vancouver"]), vec!["4.5".into()], 812.0),
+            HiddenRecord::new(1, Record::from(["Jade Noodle House", "Vancouver"]), vec!["4.1".into()], 633.0),
+            HiddenRecord::new(2, Record::from(["Thai House", "Burnaby"]), vec!["3.9".into()], 540.0),
+            HiddenRecord::new(3, Record::from(["Lotus of Siam", "Vancouver"]), vec!["4.8".into()], 1200.0),
+            HiddenRecord::new(4, Record::from(["Golden Steak Grill", "Surrey"]), vec!["4.0".into()], 77.0),
+            HiddenRecord::new(5, Record::from(["Noodle World", "Richmond"]), vec!["3.5".into()], 41.0),
+        ])
+        .build();
+
+    // The local table we want to enrich with a rating column.
+    let mut ctx = TextContext::new();
+    let local_records = vec![
+        Record::from(["Thai Noodle House", "Vancouver"]),
+        Record::from(["Jade Noodle House", "Vancouver"]),
+        Record::from(["Thai House", "Burnaby"]),
+        Record::from(["Lotus of Siam", "Vancouver"]),
+        Record::from(["Golden Steak Grill", "Surrey"]),
+    ];
+    let local = LocalDb::build(local_records.clone(), &mut ctx);
+
+    // A small offline sample of the hidden database (50%, for the demo) —
+    // QSel-Est uses it to predict which queries overflow the top-k limit.
+    let sample = bernoulli_sample(&hidden, 0.5, 7);
+
+    // Crawl with a budget of 3 queries.
+    let mut iface = Metered::new(&hidden, Some(3)).with_log();
+    let cfg = SmartCrawlConfig {
+        budget: 3,
+        strategy: Strategy::est_biased(),
+        matcher: Matcher::Exact,
+        pool: PoolConfig { min_support: 2, max_len: 2, seed: 1 },
+        omega: 1.0,
+    };
+    let report = smart_crawl(&local, &sample, &mut iface, &cfg, ctx);
+
+    println!("issued {} queries:", report.queries_issued());
+    for step in &report.steps {
+        println!("  {:?} -> {} results", step.keywords, step.returned.len());
+    }
+    println!("\nenriched table:");
+    let mut ratings: Vec<Option<&str>> = vec![None; local_records.len()];
+    for pair in &report.enriched {
+        ratings[pair.local] = pair.payload.first().map(String::as_str);
+    }
+    for (i, r) in local_records.iter().enumerate() {
+        println!(
+            "  {:<28} {:<10} rating: {}",
+            r.fields()[0],
+            r.fields()[1],
+            ratings[i].unwrap_or("?")
+        );
+    }
+    println!(
+        "\ncovered {} of {} local records with {} queries (NaiveCrawl would need 5).",
+        report.covered_claimed(),
+        local_records.len(),
+        report.queries_issued()
+    );
+}

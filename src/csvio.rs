@@ -1,0 +1,175 @@
+//! Minimal CSV reading/writing for the `deeper` CLI (RFC 4180 quoting,
+//! no external dependencies).
+
+use std::io::{BufRead, Write};
+
+/// A parsed CSV table: header plus rows (all rows padded/truncated to the
+/// header's width).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Index of a named column.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header.iter().position(|h| h == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Parses one CSV record (handles quoted fields, embedded commas/quotes).
+/// Returns `None` for an unterminated quote (malformed input).
+pub fn parse_record(line: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    fields.push(cur);
+    Some(fields)
+}
+
+/// Quotes a field if it needs it.
+pub fn format_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Reads a CSV table (first record is the header).
+pub fn read_csv<R: BufRead>(reader: R) -> std::io::Result<CsvTable> {
+    let mut lines = reader.lines();
+    let header_line = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty CSV"))?;
+    let header = parse_record(&header_line).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed CSV header")
+    })?;
+    let width = header.len();
+    let mut rows = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = parse_record(&line).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed CSV row")
+        })?;
+        row.resize(width, String::new());
+        rows.push(row);
+    }
+    Ok(CsvTable { header, rows })
+}
+
+/// Writes a CSV table.
+pub fn write_csv<W: Write>(mut w: W, table: &CsvTable) -> std::io::Result<()> {
+    let fmt_row = |row: &[String]| {
+        row.iter().map(|f| format_field(f)).collect::<Vec<_>>().join(",")
+    };
+    writeln!(w, "{}", fmt_row(&table.header))?;
+    for row in &table.rows {
+        writeln!(w, "{}", fmt_row(row))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_record() {
+        assert_eq!(parse_record("a,b,c"), Some(vec!["a".into(), "b".into(), "c".into()]));
+        assert_eq!(parse_record(""), Some(vec![String::new()]));
+        assert_eq!(parse_record("a,,c"), Some(vec!["a".into(), String::new(), "c".into()]));
+    }
+
+    #[test]
+    fn parse_quoted_record() {
+        assert_eq!(
+            parse_record(r#""a,b",c"#),
+            Some(vec!["a,b".into(), "c".into()])
+        );
+        assert_eq!(
+            parse_record(r#""say ""hi""",x"#),
+            Some(vec![r#"say "hi""#.into(), "x".into()])
+        );
+        assert_eq!(parse_record(r#""unterminated"#), None);
+    }
+
+    #[test]
+    fn round_trip_through_read_write() {
+        let table = CsvTable {
+            header: vec!["name".into(), "city".into()],
+            rows: vec![
+                vec!["Thai, House".into(), "phoenix".into()],
+                vec![r#"The "Best" Bar"#.into(), "tempe".into()],
+            ],
+        };
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &table).unwrap();
+        let parsed = read_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn read_pads_short_rows() {
+        let csv = "a,b,c\n1,2\n";
+        let t = read_csv(std::io::Cursor::new(csv)).unwrap();
+        assert_eq!(t.rows[0], vec!["1".to_owned(), "2".into(), "".into()]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = read_csv(std::io::Cursor::new("x,y\n1,2\n")).unwrap();
+        assert_eq!(t.column("y"), Some(1));
+        assert_eq!(t.column("z"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_csv(std::io::Cursor::new("")).is_err());
+    }
+}

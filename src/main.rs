@@ -1,0 +1,291 @@
+//! `deeper` — command-line data enrichment against a simulated hidden
+//! database.
+//!
+//! ```text
+//! deeper enrich --local local.csv --hidden hidden.csv \
+//!     [--payload-cols rating,reviews] [--budget 500] [--k 50] \
+//!     [--theta 0.01] [--matcher exact|jaccard:0.9] \
+//!     [--strategy biased|unbiased|simple] [--mode conj|disj] \
+//!     [--seed 42] [--output enriched.csv]
+//! ```
+//!
+//! The hidden CSV plays the hidden database: it is indexed behind a
+//! top-`k` keyword interface and only ever accessed through it (the
+//! `Metered` wrapper reports exactly how many queries the enrichment
+//! cost). Columns named in `--payload-cols` are withheld from the index
+//! and returned as enrichment values; all other hidden columns are
+//! searchable. Every local column is searchable. The output is the local
+//! table extended with the payload columns (empty where no match was
+//! found within budget).
+
+use deeper::csvio::{read_csv, write_csv, CsvTable};
+use deeper::text::Record;
+use deeper::{
+    bernoulli_sample, smart_crawl, EstimatorKind, HiddenDbBuilder, HiddenRecord, LocalDb,
+    Matcher, Metered, PoolConfig, SearchInterface, SmartCrawlConfig, Strategy, TextContext,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Options {
+    local: String,
+    hidden: String,
+    payload_cols: Vec<String>,
+    budget: usize,
+    k: usize,
+    theta: f64,
+    matcher: Matcher,
+    strategy: Strategy,
+    disjunctive: bool,
+    auto_align: bool,
+    seed: u64,
+    output: Option<String>,
+    sample_file: Option<String>,
+    save_sample: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: deeper enrich --local <csv> --hidden <csv> [options]\n\
+         options:\n\
+           --payload-cols a,b   hidden columns returned as enrichment (not indexed)\n\
+           --budget N           query budget (default 500)\n\
+           --k N                interface top-k limit (default 50)\n\
+           --theta F            hidden sample ratio for the estimators (default 0.01)\n\
+           --matcher M          exact | jaccard:<threshold>   (default jaccard:0.9)\n\
+           --strategy S         biased | unbiased | simple    (default biased)\n\
+           --mode M             conj | disj                   (default conj)\n\
+           --auto-align         schema-match columns; index only hidden\n\
+                                columns aligned with a local column\n\
+           --seed N             RNG seed (default 42)\n\
+           --output <csv>       write enriched table here (default: stdout)\n\
+           --sample-file <f>    reuse a persisted hidden-database sample\n\
+           --save-sample <f>    persist the sample used by this run"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args(args: &[String]) -> Option<Options> {
+    if args.first().map(String::as_str) != Some("enrich") {
+        return None;
+    }
+    let mut opts = Options {
+        local: String::new(),
+        hidden: String::new(),
+        payload_cols: Vec::new(),
+        budget: 500,
+        k: 50,
+        theta: 0.01,
+        matcher: Matcher::paper_fuzzy(),
+        strategy: Strategy::est_biased(),
+        disjunctive: false,
+        auto_align: false,
+        seed: 42,
+        output: None,
+        sample_file: None,
+        save_sample: None,
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--local" => opts.local = value(),
+            "--hidden" => opts.hidden = value(),
+            "--payload-cols" => {
+                opts.payload_cols = value().split(',').map(str::to_owned).collect()
+            }
+            "--budget" => opts.budget = value().parse().unwrap_or_else(|_| usage()),
+            "--k" => opts.k = value().parse().unwrap_or_else(|_| usage()),
+            "--theta" => opts.theta = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--output" => opts.output = Some(value()),
+            "--sample-file" => opts.sample_file = Some(value()),
+            "--save-sample" => opts.save_sample = Some(value()),
+            "--matcher" => {
+                let v = value();
+                opts.matcher = if v == "exact" {
+                    Matcher::Exact
+                } else if let Some(t) = v.strip_prefix("jaccard:") {
+                    Matcher::Jaccard { threshold: t.parse().unwrap_or_else(|_| usage()) }
+                } else {
+                    usage()
+                };
+            }
+            "--strategy" => {
+                let v = value();
+                opts.strategy = match v.as_str() {
+                    "biased" => Strategy::est_biased(),
+                    "unbiased" => Strategy::est_unbiased(),
+                    "simple" => Strategy::Simple,
+                    _ => usage(),
+                };
+            }
+            "--auto-align" => opts.auto_align = true,
+            "--mode" => {
+                opts.disjunctive = match value().as_str() {
+                    "conj" => false,
+                    "disj" => true,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+    }
+    if opts.local.is_empty() || opts.hidden.is_empty() {
+        usage();
+    }
+    Some(opts)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let read = |path: &str| -> Result<CsvTable, String> {
+        let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        read_csv(std::io::BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+    };
+    let local_csv = read(&opts.local)?;
+    let hidden_csv = read(&opts.hidden)?;
+
+    // Split hidden columns into searchable vs payload.
+    let payload_idx: Vec<usize> = opts
+        .payload_cols
+        .iter()
+        .map(|c| {
+            hidden_csv
+                .column(c)
+                .ok_or_else(|| format!("payload column {c:?} not in {}", opts.hidden))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut searchable_idx: Vec<usize> =
+        (0..hidden_csv.header.len()).filter(|i| !payload_idx.contains(i)).collect();
+    if opts.auto_align {
+        // Schema matching (paper §2 assumes aligned schemas; this aligns
+        // them): keep only hidden columns matched to some local column.
+        let matches = deeper::matching::match_schemas(
+            &local_csv.header,
+            &local_csv.rows,
+            &hidden_csv.header,
+            &hidden_csv.rows,
+            0.25,
+        );
+        let aligned: Vec<usize> = matches
+            .iter()
+            .map(|m| m.hidden_col)
+            .filter(|c| searchable_idx.contains(c))
+            .collect();
+        if aligned.is_empty() {
+            return Err("schema matching found no aligned columns".into());
+        }
+        for m in &matches {
+            if searchable_idx.contains(&m.hidden_col) {
+                eprintln!(
+                    "aligned: local {:?} <-> hidden {:?} (score {:.2})",
+                    local_csv.header[m.local_col],
+                    hidden_csv.header[m.hidden_col],
+                    m.score
+                );
+            }
+        }
+        searchable_idx = aligned;
+        searchable_idx.sort_unstable();
+    }
+
+    let hidden = HiddenDbBuilder::new()
+        .k(opts.k)
+        .mode(if opts.disjunctive {
+            deeper::hidden::SearchMode::Disjunctive
+        } else {
+            deeper::hidden::SearchMode::Conjunctive
+        })
+        .records(hidden_csv.rows.iter().enumerate().map(|(i, row)| {
+            let searchable: Vec<String> =
+                searchable_idx.iter().map(|&c| row[c].clone()).collect();
+            let payload: Vec<String> = payload_idx.iter().map(|&c| row[c].clone()).collect();
+            HiddenRecord::new(i as u64, Record::new(searchable), payload, i as f64)
+        }))
+        .build();
+
+    let mut ctx = TextContext::new();
+    let local =
+        LocalDb::build(local_csv.rows.iter().map(|r| Record::new(r.clone())).collect(), &mut ctx);
+    let sample = match &opts.sample_file {
+        Some(path) => deeper::sampler::load_sample(path).map_err(|e| format!("{path}: {e}"))?,
+        None => bernoulli_sample(&hidden, opts.theta, opts.seed),
+    };
+    if let Some(path) = &opts.save_sample {
+        deeper::sampler::save_sample(path, &sample).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    let mut iface = Metered::new(&hidden, Some(opts.budget));
+    let report = smart_crawl(
+        &local,
+        &sample,
+        &mut iface,
+        &SmartCrawlConfig {
+            budget: opts.budget,
+            strategy: opts.strategy,
+            matcher: opts.matcher,
+            pool: PoolConfig { seed: opts.seed, ..PoolConfig::default() },
+            omega: 1.0,
+        },
+        ctx,
+    );
+
+    // Extend the local table with payload columns.
+    let mut enriched: HashMap<usize, &Vec<String>> = HashMap::new();
+    for pair in &report.enriched {
+        enriched.insert(pair.local, &pair.payload);
+    }
+    let mut out = CsvTable {
+        header: local_csv
+            .header
+            .iter()
+            .cloned()
+            .chain(opts.payload_cols.iter().cloned())
+            .collect(),
+        rows: Vec::with_capacity(local_csv.len()),
+    };
+    for (i, row) in local_csv.rows.iter().enumerate() {
+        let mut row = row.clone();
+        match enriched.get(&i) {
+            Some(payload) => row.extend(payload.iter().cloned()),
+            None => row.extend(std::iter::repeat_n(String::new(), payload_idx.len())),
+        }
+        out.rows.push(row);
+    }
+
+    match &opts.output {
+        Some(path) => {
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            write_csv(std::io::BufWriter::new(f), &out).map_err(|e| format!("{path}: {e}"))?;
+        }
+        None => {
+            write_csv(std::io::stdout().lock(), &out).map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!(
+        "enriched {} of {} rows with {} queries (budget {}, strategy {:?}, {} kind)",
+        report.covered_claimed(),
+        local_csv.len(),
+        iface.queries_issued(),
+        opts.budget,
+        opts.strategy,
+        match opts.strategy {
+            Strategy::Est { kind: EstimatorKind::Biased, .. } => "biased",
+            Strategy::Est { kind: EstimatorKind::Unbiased, .. } => "unbiased",
+            _ => "frequency",
+        },
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse_args(&args) else { usage() };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end test of the `deeper` CLI binary: enrich a CSV against a
+//! hidden CSV through the metered interface.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_file(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn cli_enriches_a_csv_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("deeper_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let hidden = write_file(
+        &dir,
+        "hidden.csv",
+        "name,city,rating\n\
+         Thai Noodle House,phoenix,4.5\n\
+         Jade Noodle House,phoenix,4.1\n\
+         Lotus of Siam,phoenix,4.8\n\
+         Golden Steak Grill,mesa,4.0\n\
+         Noodle World,tucson,3.5\n",
+    );
+    let local = write_file(
+        &dir,
+        "local.csv",
+        "name,city\n\
+         Thai Noodle House,phoenix\n\
+         Lotus of Siam,phoenix\n",
+    );
+    let out = dir.join("enriched.csv");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_deeper"))
+        .args([
+            "enrich",
+            "--local",
+            local.to_str().unwrap(),
+            "--hidden",
+            hidden.to_str().unwrap(),
+            "--payload-cols",
+            "rating",
+            "--budget",
+            "5",
+            "--k",
+            "3",
+            "--theta",
+            "0.5",
+            "--seed",
+            "7",
+            "--output",
+            out.to_str().unwrap(),
+        ])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&out).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("name,city,rating"));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 2);
+    assert!(rows[0].starts_with("Thai Noodle House,phoenix,4.5"), "{rows:?}");
+    assert!(rows[1].starts_with("Lotus of Siam,phoenix,4.8"), "{rows:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_unknown_payload_column() {
+    let dir = std::env::temp_dir().join(format!("deeper_cli_test2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let hidden = write_file(&dir, "hidden.csv", "name\nx\n");
+    let local = write_file(&dir, "local.csv", "name\nx\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_deeper"))
+        .args([
+            "enrich",
+            "--local",
+            local.to_str().unwrap(),
+            "--hidden",
+            hidden.to_str().unwrap(),
+            "--payload-cols",
+            "nonexistent",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("nonexistent"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

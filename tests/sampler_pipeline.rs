@@ -1,0 +1,107 @@
+//! Integration: the pool-based sampler feeding QSel-Est end-to-end — the
+//! fully "through-the-interface" pipeline of the Yelp experiment (§7.3).
+
+use deeper::data::{Scenario, ScenarioConfig};
+use deeper::text::Tokenizer;
+use deeper::{
+    pool_sample, smart_crawl, LocalDb, Matcher, Metered, PoolConfig, PoolSamplerConfig,
+    SmartCrawlConfig, Strategy, TextContext,
+};
+
+#[test]
+fn sampled_theta_drives_a_successful_crawl() {
+    let mut cfg = ScenarioConfig::yelp_like();
+    cfg.hidden_size = 3_000;
+    cfg.local_size = 300;
+    cfg.delta_d = 15;
+    cfg.seed = 4;
+    let s = Scenario::build(cfg);
+
+    // Keyword pool from the local snapshot.
+    let tokenizer = Tokenizer::default();
+    let mut words: Vec<String> = s
+        .local
+        .iter()
+        .flat_map(|r| tokenizer.raw_tokens(&r.fields().join(" ")).collect::<Vec<_>>())
+        .collect();
+    words.sort_unstable();
+    words.dedup();
+    assert!(words.len() > 50, "pool should have many keywords");
+
+    let mut sampler_iface = Metered::new(&s.hidden, None);
+    let out = pool_sample(
+        &mut sampler_iface,
+        &words,
+        &PoolSamplerConfig { target_size: 60, max_queries: 6_000, seed: 2 },
+    );
+    assert!(out.sample.len() >= 20, "sampler got only {} records", out.sample.len());
+    assert!(out.sample.theta > 0.0 && out.sample.theta <= 1.0);
+    // Size estimate within a factor of 4 of the truth (it is a noisy
+    // Monte-Carlo estimate over the reachable subpopulation).
+    let truth = s.hidden.len() as f64;
+    assert!(
+        out.size_estimate > truth / 4.0 && out.size_estimate < truth * 4.0,
+        "size estimate {} vs truth {truth}",
+        out.size_estimate
+    );
+
+    // Crawl using the estimated sample.
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(s.local.clone(), &mut ctx);
+    let budget = 90;
+    let mut iface = Metered::new(&s.hidden, Some(budget));
+    let report = smart_crawl(
+        &local,
+        &out.sample,
+        &mut iface,
+        &SmartCrawlConfig {
+            budget,
+            strategy: Strategy::est_biased(),
+            matcher: Matcher::paper_fuzzy(),
+            pool: PoolConfig::default(),
+            omega: 1.0,
+        },
+        ctx,
+    );
+    // With 30% of |D| as budget and heavy query sharing, a Yelp-like
+    // scenario should cover well over half of the snapshot.
+    assert!(
+        report.covered_claimed() * 2 > s.local.len(),
+        "covered only {} of {}",
+        report.covered_claimed(),
+        s.local.len()
+    );
+}
+
+#[test]
+fn sampler_spends_queries_like_the_paper() {
+    // The paper's sampler spent ~13 queries per sampled record (6 483 for
+    // 500). Ours should be within an order of magnitude on a similar
+    // workload shape.
+    let mut cfg = ScenarioConfig::yelp_like();
+    cfg.hidden_size = 4_000;
+    cfg.local_size = 400;
+    cfg.delta_d = 0;
+    cfg.seed = 11;
+    let s = Scenario::build(cfg);
+    let tokenizer = Tokenizer::default();
+    let mut words: Vec<String> = s
+        .local
+        .iter()
+        .flat_map(|r| tokenizer.raw_tokens(&r.fields().join(" ")).collect::<Vec<_>>())
+        .collect();
+    words.sort_unstable();
+    words.dedup();
+    let mut iface = Metered::new(&s.hidden, None);
+    let out = pool_sample(
+        &mut iface,
+        &words,
+        &PoolSamplerConfig { target_size: 40, max_queries: 50_000, seed: 6 },
+    );
+    assert_eq!(out.sample.len(), 40);
+    let per_record = out.queries_used as f64 / 40.0;
+    assert!(
+        per_record < 200.0,
+        "sampler used {per_record:.1} queries per record — far off the paper's ~13"
+    );
+}
