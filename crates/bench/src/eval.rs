@@ -139,9 +139,7 @@ mod tests {
                 .into_iter()
                 .map(|r| CrawlStep { keywords: vec![], returned: r, full_page: false })
                 .collect(),
-            enriched: vec![],
-            records_removed: 0,
-            selection: Default::default(),
+            ..Default::default()
         }
     }
 

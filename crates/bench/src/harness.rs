@@ -4,11 +4,12 @@
 
 use crate::eval::{coverage_curve, Curve};
 use smartcrawl_core::crawl::{
-    full_crawl, ideal_crawl, naive_crawl, smart_crawl, IdealCrawlConfig, SmartCrawlConfig,
+    full_crawl_with, ideal_crawl_with, naive_crawl_with, smart_crawl_with, CrawlObserver,
+    CrawlReport, IdealCrawlConfig, NullObserver, SmartCrawlConfig,
 };
 use smartcrawl_core::{DeltaRemoval, LocalDb, PoolConfig, Strategy, TextContext};
 use smartcrawl_data::Scenario;
-use smartcrawl_hidden::Metered;
+use smartcrawl_hidden::{FlakyInterface, Metered, RetryPolicy, SearchInterface};
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::{bernoulli_sample, HiddenSample};
 
@@ -100,12 +101,66 @@ impl RunSpec {
     }
 }
 
+/// A run's full result: the ground-truth coverage curve plus the raw crawl
+/// report (for timing/event instrumentation).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Ground-truth coverage at each checkpoint.
+    pub curve: Curve,
+    /// The raw report with steps, timings, and event counts.
+    pub report: CrawlReport,
+}
+
 /// Runs `spec` against `scenario` and returns the ground-truth coverage
 /// curve.
 pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
+    run_approach_report(scenario, spec).curve
+}
+
+/// [`run_approach`], also returning the raw crawl report.
+pub fn run_approach_report(scenario: &Scenario, spec: &RunSpec) -> RunOutcome {
+    let mut iface = Metered::new(&scenario.hidden, Some(spec.budget));
+    let report =
+        dispatch(scenario, spec, &mut iface, RetryPolicy::none(), &mut NullObserver);
+    outcome(scenario, spec, report)
+}
+
+/// Runs `spec` under seeded fault injection: the metered interface is
+/// wrapped in a [`FlakyInterface`] with the given transient-failure rate,
+/// and the crawler retries under `retry`. Failures are injected *outside*
+/// the meter, so only served queries consume the interface budget.
+pub fn run_approach_flaky(
+    scenario: &Scenario,
+    spec: &RunSpec,
+    failure_rate: f64,
+    retry: RetryPolicy,
+) -> RunOutcome {
+    let mut iface = FlakyInterface::new(
+        Metered::new(&scenario.hidden, Some(spec.budget)),
+        failure_rate,
+        spec.seed ^ 0xF1A4,
+    );
+    let report = dispatch(scenario, spec, &mut iface, retry, &mut NullObserver);
+    outcome(scenario, spec, report)
+}
+
+fn outcome(scenario: &Scenario, spec: &RunSpec, report: CrawlReport) -> RunOutcome {
+    let curve =
+        coverage_curve(spec.approach.label(), &report, &scenario.truth, &spec.checkpoints);
+    RunOutcome { curve, report }
+}
+
+/// Builds the local database and runs the configured approach against any
+/// interface — the single dispatch point every harness entry shares.
+fn dispatch<I: SearchInterface>(
+    scenario: &Scenario,
+    spec: &RunSpec,
+    iface: &mut I,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
+) -> CrawlReport {
     let mut ctx = TextContext::new();
     let local = LocalDb::build(scenario.local.clone(), &mut ctx);
-    let mut iface = Metered::new(&scenario.hidden, Some(spec.budget));
 
     let smart_sample = |theta: f64| -> HiddenSample {
         match &spec.sample_override {
@@ -114,16 +169,18 @@ pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
         }
     };
 
-    let report = match spec.approach {
-        Approach::Ideal => ideal_crawl(
+    match spec.approach {
+        Approach::Ideal => ideal_crawl_with(
             &local,
-            &mut iface,
+            iface,
             &scenario.hidden,
             &IdealCrawlConfig {
                 budget: spec.budget,
                 matcher: spec.matcher,
                 pool: spec.pool,
             },
+            retry,
+            observer,
             ctx,
         ),
         Approach::SmartB | Approach::SmartU | Approach::Simple | Approach::Bound => {
@@ -150,10 +207,10 @@ pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
                 }
                 _ => unreachable!(),
             };
-            smart_crawl(
+            smart_crawl_with(
                 &local,
                 &sample,
-                &mut iface,
+                iface,
                 &SmartCrawlConfig {
                     budget: spec.budget,
                     strategy,
@@ -161,19 +218,35 @@ pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
                     pool: spec.pool,
                     omega: spec.omega,
                 },
+                retry,
+                observer,
                 ctx,
             )
         }
-        Approach::Naive => {
-            naive_crawl(&local, &mut iface, spec.budget, spec.matcher, spec.seed, ctx)
-        }
+        Approach::Naive => naive_crawl_with(
+            &local,
+            iface,
+            spec.budget,
+            spec.matcher,
+            spec.seed,
+            retry,
+            observer,
+            ctx,
+        ),
         Approach::Full => {
             let sample = bernoulli_sample(&scenario.hidden, spec.full_theta, spec.seed ^ 0xF011);
-            full_crawl(&local, &sample, &mut iface, spec.budget, spec.matcher, ctx)
+            full_crawl_with(
+                &local,
+                &sample,
+                iface,
+                spec.budget,
+                spec.matcher,
+                retry,
+                observer,
+                ctx,
+            )
         }
-    };
-
-    coverage_curve(spec.approach.label(), &report, &scenario.truth, &spec.checkpoints)
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +274,54 @@ mod tests {
             // Monotone non-decreasing.
             assert!(curve.covered.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn report_events_and_timings_are_populated() {
+        let s = smartcrawl_data::Scenario::build(ScenarioConfig::tiny(7));
+        let mut spec = RunSpec::new(Approach::SmartB, 15);
+        spec.theta = 0.05;
+        let out = run_approach_report(&s, &spec);
+        let report = &out.report;
+        // Event tallies must agree with the report's own bookkeeping.
+        assert_eq!(report.events.queries_issued, report.queries_issued());
+        assert_eq!(report.events.pages_received, report.queries_issued());
+        assert_eq!(report.events.matched, report.covered_claimed());
+        assert_eq!(report.events.records_removed, report.records_removed);
+        assert_eq!(report.events.retries, 0);
+        // Enough queries ran that the measured phases cannot all be zero.
+        if report.queries_issued() >= 5 {
+            assert!(report.timing.total_ns() > 0, "timing: {:?}", report.timing);
+        }
+    }
+
+    #[test]
+    fn flaky_run_with_retries_matches_clean_coverage() {
+        // The acceptance demo: SmartCrawl under 20% seeded transient
+        // failures, with the standard retry policy, ends within noise of
+        // the failure-free run.
+        let s = smartcrawl_data::Scenario::build(ScenarioConfig::tiny(8));
+        let mut spec = RunSpec::new(Approach::SmartB, 20);
+        spec.theta = 0.05;
+        let clean = run_approach_report(&s, &spec);
+        let flaky = run_approach_flaky(&s, &spec, 0.2, RetryPolicy::standard());
+        assert!(flaky.report.events.retries > 0, "20% flakiness must retry");
+        assert!(flaky.report.timing.backoff_ticks > 0);
+        // Retried queries are re-issued verbatim against a deterministic
+        // simulator, so the flaky run's served-query sequence is the clean
+        // run's, truncated by whatever budget the failed attempts burned:
+        // its coverage must match the clean run's at the same served count
+        // (±1 for the rare query dropped after exhausting its retries).
+        let served = flaky.report.queries_issued();
+        assert!(served < spec.budget, "failed attempts must burn budget");
+        let clean_at_served =
+            crate::eval::coverage_curve("", &clean.report, &s.truth, &[served.max(1)])
+                .final_coverage() as i64;
+        let flaky_cov = flaky.curve.final_coverage() as i64;
+        assert!(
+            (flaky_cov - clean_at_served).abs() <= 1,
+            "flaky coverage {flaky_cov} vs clean-at-{served} {clean_at_served}"
+        );
     }
 
     #[test]

@@ -19,4 +19,6 @@ pub mod harness;
 pub mod table;
 
 pub use eval::{coverage_curve, enrichment_precision, recall, Curve};
-pub use harness::{run_approach, Approach, RunSpec};
+pub use harness::{
+    run_approach, run_approach_flaky, run_approach_report, Approach, RunOutcome, RunSpec,
+};

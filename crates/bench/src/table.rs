@@ -2,6 +2,7 @@
 //! under `results/`.
 
 use crate::eval::Curve;
+use smartcrawl_core::CrawlReport;
 use std::io::Write;
 use std::path::Path;
 
@@ -50,6 +51,37 @@ pub fn print_curves_relative(title: &str, curves: &[Curve], denom: usize) {
             row.push_str(&format!("  {:>14.3}", c.covered[i] as f64 / denom.max(1) as f64));
         }
         println!("{row}");
+    }
+}
+
+/// Renders one row of the per-phase instrumentation table (without the
+/// label column). Split out so tests can assert the exact shape.
+fn phase_row(report: &CrawlReport) -> String {
+    let ms = |ns: u64| ns as f64 / 1.0e6;
+    format!(
+        "{:>8} {:>8} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>10}",
+        report.events.queries_issued,
+        report.enriched.len(),
+        report.events.retries,
+        ms(report.timing.selection_ns),
+        ms(report.timing.search_ns),
+        ms(report.timing.matching_ns),
+        report.timing.backoff_ticks,
+    )
+}
+
+/// Prints the per-phase timing and event columns of labeled crawl
+/// reports: queries issued, enriched pairs, retry attempts, per-phase
+/// wall-clock (selection / search / matching, in ms) and simulated
+/// backoff ticks.
+pub fn print_report_phases(title: &str, rows: &[(String, &CrawlReport)]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>18} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "approach", "queries", "pairs", "retries", "select_ms", "search_ms", "match_ms", "backoff"
+    );
+    for (label, report) in rows {
+        println!("{label:>18} {}", phase_row(report));
     }
 }
 
@@ -155,6 +187,24 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "theta,X\n0.1,1\n0.2,2\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn phase_row_formats_events_and_timings() {
+        let mut report = CrawlReport::default();
+        report.events.queries_issued = 7;
+        report.events.retries = 2;
+        report.timing.selection_ns = 1_500_000;
+        report.timing.search_ns = 2_000_000;
+        report.timing.matching_ns = 500_000;
+        report.timing.backoff_ticks = 300;
+        let row = phase_row(&report);
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(
+            cols,
+            vec!["7", "0", "2", "1.500", "2.000", "0.500", "300"],
+            "row was: {row:?}"
+        );
     }
 
     #[test]

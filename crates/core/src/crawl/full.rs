@@ -6,12 +6,68 @@
 //! why it wastes budget when `|D| ≪ |H|`.
 
 use crate::context::TextContext;
-use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
-use crate::local::{LocalDb, LocalMatchIndex};
-use smartcrawl_hidden::SearchInterface;
+use crate::crawl::observe::{CrawlObserver, NullObserver};
+use crate::crawl::session::{CrawlSession, Observation, PageMatcher, QuerySource};
+use crate::crawl::CrawlReport;
+use crate::local::LocalDb;
+use smartcrawl_hidden::{RetryPolicy, SearchInterface, SearchPage};
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::HiddenSample;
 use std::collections::HashMap;
+
+/// [`QuerySource`] for FullCrawl: single sample keywords, most-frequent
+/// first (ties broken lexicographically for determinism).
+pub struct FullSource<'a> {
+    keywords: Vec<String>,
+    cursor: usize,
+    matches: PageMatcher<'a>,
+    ctx: TextContext,
+}
+
+impl<'a> FullSource<'a> {
+    /// Builds the keyword pool from the sample. `ctx` must be the context
+    /// `local` was built with.
+    pub fn new(
+        local: &'a LocalDb,
+        sample: &HiddenSample,
+        matcher: Matcher,
+        ctx: TextContext,
+    ) -> Self {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for r in &sample.records {
+            let mut words: Vec<String> =
+                ctx.tokenizer.raw_tokens(&r.fields.join(" ")).collect();
+            words.sort_unstable();
+            words.dedup();
+            for w in words {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(String, usize)> = counts.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Self {
+            keywords: ranked.into_iter().map(|(w, _)| w).collect(),
+            cursor: 0,
+            matches: PageMatcher::new(local, matcher),
+            ctx,
+        }
+    }
+}
+
+impl QuerySource for FullSource<'_> {
+    fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+        let word = self.keywords.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(vec![word])
+    }
+
+    fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
+        Observation {
+            newly_covered: self.matches.absorb(&page.records, &mut self.ctx),
+            removed: 0,
+        }
+    }
+}
 
 /// Runs FullCrawl: issues the sample's keywords, most-frequent first,
 /// matching every returned page against the local database.
@@ -21,56 +77,25 @@ pub fn full_crawl<I: SearchInterface>(
     iface: &mut I,
     budget: usize,
     matcher: Matcher,
-    mut ctx: TextContext,
+    ctx: TextContext,
 ) -> CrawlReport {
-    // Keyword pool from the sample, ordered by sample frequency
-    // (descending), ties broken lexicographically for determinism.
-    let mut counts: HashMap<String, usize> = HashMap::new();
-    for r in &sample.records {
-        let mut words: Vec<String> =
-            ctx.tokenizer.raw_tokens(&r.fields.join(" ")).collect();
-        words.sort_unstable();
-        words.dedup();
-        for w in words {
-            *counts.entry(w).or_insert(0) += 1;
-        }
-    }
-    let mut keywords: Vec<(String, usize)> = counts.into_iter().collect();
-    keywords.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    full_crawl_with(local, sample, iface, budget, matcher, RetryPolicy::none(), &mut NullObserver, ctx)
+}
 
-    let match_index = LocalMatchIndex::build(local);
-    let mut report = CrawlReport::default();
-    let mut covered = vec![false; local.len()];
-    let all = vec![true; local.len()];
-    let k = iface.k();
-
-    for (word, _) in keywords {
-        if report.steps.len() >= budget {
-            break;
-        }
-        let query = vec![word];
-        let Ok(page) = iface.search(&query) else { break };
-        for r in &page.records {
-            let rdoc = ctx.doc_of_fields(&r.fields);
-            for d in match_index.find_matches(&rdoc, matcher, &all) {
-                if !covered[d] {
-                    covered[d] = true;
-                    report.enriched.push(EnrichedPair {
-                        local: d,
-                        external: r.external_id,
-                        payload: r.payload.clone(),
-                        hidden_fields: r.fields.clone(),
-                    });
-                }
-            }
-        }
-        report.steps.push(CrawlStep {
-            keywords: query,
-            returned: page.records.iter().map(|r| r.external_id).collect(),
-            full_page: page.is_full(k),
-        });
-    }
-    report
+/// [`full_crawl`] with a retry policy and an observer.
+#[allow(clippy::too_many_arguments)] // mirrors full_crawl plus the two session knobs
+pub fn full_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    sample: &HiddenSample,
+    iface: &mut I,
+    budget: usize,
+    matcher: Matcher,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
+    ctx: TextContext,
+) -> CrawlReport {
+    let mut source = FullSource::new(local, sample, matcher, ctx);
+    CrawlSession::new(budget).with_retry(retry).run(&mut source, iface, observer)
 }
 
 #[cfg(test)]
@@ -136,5 +161,6 @@ mod tests {
         let mut iface = Metered::new(&hidden, Some(2));
         let report = full_crawl(&local, &sample, &mut iface, 10, Matcher::Exact, ctx);
         assert_eq!(report.queries_issued(), 2);
+        assert_eq!(report.events.budget_exhausted, 1);
     }
 }

@@ -16,21 +16,38 @@
 //! * [`populate_crawl`] — row population (paper §9 future work #3):
 //!   crawl for new *rows* of the local table's kind instead of new
 //!   columns.
+//!
+//! All of them run on the same [`CrawlSession`] driver ([`session`]),
+//! differing only in their [`QuerySource`]; each also has a `*_with`
+//! variant taking a [`RetryPolicy`](smartcrawl_hidden::RetryPolicy) and a
+//! [`CrawlObserver`] ([`observe`]) for fault-tolerant, instrumented runs.
 
 mod clean;
 mod full;
 mod naive;
+pub mod observe;
 mod online;
 mod populate;
+pub mod session;
 mod smart;
 
 pub use clean::{suggest_corrections, Correction};
 
-pub use full::full_crawl;
-pub use naive::naive_crawl;
-pub use online::{online_smart_crawl, OnlineCrawlConfig};
-pub use populate::{populate_crawl, PopulateConfig, PopulateOutcome};
-pub use smart::{ideal_crawl, smart_crawl, IdealCrawlConfig, SmartCrawlConfig};
+pub use full::{full_crawl, full_crawl_with, FullSource};
+pub use naive::{naive_crawl, naive_crawl_with, NaiveSource};
+pub use observe::{
+    CountingObserver, CrawlEvent, CrawlObserver, EventCounts, EventStamp, NullObserver,
+    TraceLog,
+};
+pub use online::{online_smart_crawl, online_smart_crawl_with, OnlineCrawlConfig, OnlineSource};
+pub use populate::{
+    populate_crawl, populate_crawl_with, PopulateConfig, PopulateOutcome, PopulateSource,
+};
+pub use session::{CrawlSession, EngineSource, Observation, PhaseTimings, QuerySource};
+pub use smart::{
+    ideal_crawl, ideal_crawl_with, smart_crawl, smart_crawl_with, IdealCrawlConfig,
+    SmartCrawlConfig,
+};
 
 use smartcrawl_hidden::ExternalId;
 
@@ -73,6 +90,12 @@ pub struct CrawlReport {
     /// Selection-machinery work counters (SmartCrawl/IdealCrawl only;
     /// zeros for the baselines, which have no selection machinery).
     pub selection: crate::select::engine::SelectionStats,
+    /// Wall-clock time spent per crawl phase (selection vs. search vs.
+    /// matching), plus simulated retry backoff.
+    pub timing: session::PhaseTimings,
+    /// The session's own event tallies (kept regardless of which
+    /// [`CrawlObserver`] was installed).
+    pub events: observe::EventCounts,
 }
 
 impl CrawlReport {
@@ -91,7 +114,7 @@ impl CrawlReport {
     /// A one-line human-readable summary (used by the CLI and examples).
     pub fn summary(&self) -> String {
         format!(
-            "{} queries issued, {} records covered, {} removed from D              ({} priority recomputations, {} forward-index touches)",
+            "{} queries issued, {} records covered, {} removed from D ({} priority recomputations, {} forward-index touches)",
             self.queries_issued(),
             self.covered_claimed(),
             self.records_removed,
@@ -122,7 +145,6 @@ mod tests {
     #[test]
     fn crawled_ids_dedupe_across_steps() {
         let report = CrawlReport {
-            selection: Default::default(),
             steps: vec![
                 CrawlStep {
                     keywords: vec!["a".into()],
@@ -135,14 +157,20 @@ mod tests {
                     full_page: false,
                 },
             ],
-            enriched: vec![],
-            records_removed: 0,
+            ..Default::default()
         };
         assert_eq!(report.queries_issued(), 2);
         assert_eq!(
             report.crawled_ids(),
             vec![ExternalId(1), ExternalId(2), ExternalId(3)]
         );
-        assert!(report.summary().starts_with("2 queries issued, 0 records covered"));
+        let summary = report.summary();
+        assert!(summary.starts_with("2 queries issued, 0 records covered"));
+        assert_eq!(
+            summary,
+            "2 queries issued, 0 records covered, 0 removed from D \
+             (0 priority recomputations, 0 forward-index touches)"
+        );
+        assert!(!summary.contains("  "), "no run-on whitespace: {summary:?}");
     }
 }

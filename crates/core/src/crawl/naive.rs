@@ -4,12 +4,55 @@
 //! (a single wrong keyword makes the conjunctive query return nothing).
 
 use crate::context::TextContext;
-use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
-use crate::local::{LocalDb, LocalMatchIndex};
+use crate::crawl::observe::{CrawlObserver, NullObserver};
+use crate::crawl::session::{CrawlSession, Observation, PageMatcher, QuerySource};
+use crate::crawl::CrawlReport;
+use crate::local::LocalDb;
 use crate::query::Query;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
-use smartcrawl_hidden::SearchInterface;
+use smartcrawl_hidden::{RetryPolicy, SearchInterface, SearchPage};
 use smartcrawl_match::Matcher;
+
+/// [`QuerySource`] for NaiveCrawl: each local record's full document as a
+/// conjunctive query, in seeded random order, skipping empty documents.
+pub struct NaiveSource<'a> {
+    local: &'a LocalDb,
+    order: Vec<usize>,
+    cursor: usize,
+    matches: PageMatcher<'a>,
+    ctx: TextContext,
+}
+
+impl<'a> NaiveSource<'a> {
+    /// Builds the source. `ctx` must be the context `local` was built with.
+    pub fn new(local: &'a LocalDb, matcher: Matcher, seed: u64, ctx: TextContext) -> Self {
+        let mut order: Vec<usize> = (0..local.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        Self { local, order, cursor: 0, matches: PageMatcher::new(local, matcher), ctx }
+    }
+}
+
+impl QuerySource for NaiveSource<'_> {
+    fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+        while self.cursor < self.order.len() {
+            let i = self.order[self.cursor];
+            self.cursor += 1;
+            let doc = self.local.doc(i);
+            if doc.is_empty() {
+                continue; // nothing to ask about
+            }
+            return Some(Query::from_document(doc).render(&self.ctx));
+        }
+        None
+    }
+
+    fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
+        Observation {
+            newly_covered: self.matches.absorb(&page.records, &mut self.ctx),
+            removed: 0,
+        }
+    }
+}
 
 /// Runs NaiveCrawl with the given budget: for each local record (random
 /// order, seeded), issue its full document as a conjunctive query and match
@@ -20,48 +63,25 @@ pub fn naive_crawl<I: SearchInterface>(
     budget: usize,
     matcher: Matcher,
     seed: u64,
-    mut ctx: TextContext,
+    ctx: TextContext,
 ) -> CrawlReport {
-    let match_index = LocalMatchIndex::build(local);
-    let mut order: Vec<usize> = (0..local.len()).collect();
-    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    naive_crawl_with(local, iface, budget, matcher, seed, RetryPolicy::none(), &mut NullObserver, ctx)
+}
 
-    let mut report = CrawlReport::default();
-    let mut covered = vec![false; local.len()];
-    let uncovered_only: Vec<bool> = vec![true; local.len()];
-    let k = iface.k();
-
-    for &i in &order {
-        if report.steps.len() >= budget {
-            break;
-        }
-        let doc = local.doc(i);
-        if doc.is_empty() {
-            continue; // nothing to ask about
-        }
-        let keywords = Query::from_document(doc).render(&ctx);
-        let Ok(page) = iface.search(&keywords) else { break };
-        for r in &page.records {
-            let rdoc = ctx.doc_of_fields(&r.fields);
-            for d in match_index.find_matches(&rdoc, matcher, &uncovered_only) {
-                if !covered[d] {
-                    covered[d] = true;
-                    report.enriched.push(EnrichedPair {
-                        local: d,
-                        external: r.external_id,
-                        payload: r.payload.clone(),
-                        hidden_fields: r.fields.clone(),
-                    });
-                }
-            }
-        }
-        report.steps.push(CrawlStep {
-            keywords,
-            returned: page.records.iter().map(|r| r.external_id).collect(),
-            full_page: page.is_full(k),
-        });
-    }
-    report
+/// [`naive_crawl`] with a retry policy and an observer.
+#[allow(clippy::too_many_arguments)] // mirrors naive_crawl plus the two session knobs
+pub fn naive_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    iface: &mut I,
+    budget: usize,
+    matcher: Matcher,
+    seed: u64,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
+    ctx: TextContext,
+) -> CrawlReport {
+    let mut source = NaiveSource::new(local, matcher, seed, ctx);
+    CrawlSession::new(budget).with_retry(retry).run(&mut source, iface, observer)
 }
 
 #[cfg(test)]
@@ -137,5 +157,15 @@ mod tests {
         let ka: Vec<_> = a.steps.iter().map(|s| s.keywords.clone()).collect();
         let kb: Vec<_> = b.steps.iter().map(|s| s.keywords.clone()).collect();
         assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn event_counts_match_report() {
+        let (ctx, local, hidden) = world();
+        let mut iface = Metered::new(&hidden, None);
+        let report = naive_crawl(&local, &mut iface, 3, Matcher::Exact, 1, ctx);
+        assert_eq!(report.events.queries_issued, report.queries_issued());
+        assert_eq!(report.events.pages_received, report.queries_issued());
+        assert_eq!(report.events.matched, report.covered_claimed());
     }
 }

@@ -1,0 +1,224 @@
+//! Structured crawl instrumentation: every [`CrawlSession`] emits a typed
+//! event stream that observers can count, trace, or ship elsewhere.
+//!
+//! The driver fires one [`CrawlEvent`] per interesting transition of the
+//! issue → observe → match → record loop, each stamped with a monotonic
+//! sequence number and nanoseconds since session start. Three observers
+//! ship with the crate:
+//!
+//! * [`NullObserver`] — zero-cost sink (the default for the plain crawl
+//!   entry points);
+//! * [`CountingObserver`] — per-kind event tallies ([`EventCounts`]);
+//! * [`TraceLog`] — a bounded ring buffer of the most recent events, for
+//!   post-mortems of long crawls without unbounded memory.
+//!
+//! [`CrawlSession`]: crate::crawl::session::CrawlSession
+
+/// A monotonic stamp attached to every event: `seq` strictly increases by
+/// one per event; `nanos` is elapsed wall-clock time since session start
+/// (also non-decreasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventStamp {
+    /// 0-based event sequence number within the session.
+    pub seq: u64,
+    /// Nanoseconds since the session started.
+    pub nanos: u64,
+}
+
+/// One structured event in a crawl session's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlEvent {
+    /// A query was selected and is about to be issued (fired once per
+    /// logical query; retries fire [`CrawlEvent::RetryAttempted`]).
+    QueryIssued {
+        /// Number of keywords in the query.
+        terms: usize,
+    },
+    /// A result page came back from the interface.
+    PageReceived {
+        /// Number of records on the page.
+        len: usize,
+        /// Whether the page hit the top-`k` limit (possible overflow).
+        full: bool,
+    },
+    /// A local record was newly matched (one event per enrichment pair).
+    Matched {
+        /// Position of the covered local record.
+        local: usize,
+    },
+    /// Local records were removed from `D` (covered + ΔD-predicted).
+    Removed {
+        /// How many records this page's processing removed.
+        count: usize,
+    },
+    /// A recoverable interface failure triggered a retry.
+    RetryAttempted {
+        /// 1-based retry attempt for the current query.
+        attempt: usize,
+    },
+    /// The session stopped because a budget ran out (the session's own
+    /// query budget or the interface's).
+    BudgetExhausted,
+}
+
+/// Receives the session's event stream. Implementations must be cheap:
+/// the driver calls them on the hot path.
+pub trait CrawlObserver {
+    /// Called once per event, in order.
+    fn on_event(&mut self, at: EventStamp, event: &CrawlEvent);
+}
+
+/// Ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl CrawlObserver for NullObserver {
+    fn on_event(&mut self, _at: EventStamp, _event: &CrawlEvent) {}
+}
+
+/// Per-kind event tallies. The session keeps its own copy of these in
+/// [`CrawlReport::events`](crate::crawl::CrawlReport::events) regardless of
+/// the observer installed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// [`CrawlEvent::QueryIssued`] events (logical queries selected).
+    pub queries_issued: usize,
+    /// [`CrawlEvent::PageReceived`] events (served pages).
+    pub pages_received: usize,
+    /// [`CrawlEvent::Matched`] events (enrichment pairs asserted).
+    pub matched: usize,
+    /// Total records reported removed across [`CrawlEvent::Removed`]
+    /// events.
+    pub records_removed: usize,
+    /// [`CrawlEvent::RetryAttempted`] events.
+    pub retries: usize,
+    /// [`CrawlEvent::BudgetExhausted`] events (0 or 1).
+    pub budget_exhausted: usize,
+}
+
+impl EventCounts {
+    /// Folds one event into the tallies.
+    pub fn absorb(&mut self, event: &CrawlEvent) {
+        match event {
+            CrawlEvent::QueryIssued { .. } => self.queries_issued += 1,
+            CrawlEvent::PageReceived { .. } => self.pages_received += 1,
+            CrawlEvent::Matched { .. } => self.matched += 1,
+            CrawlEvent::Removed { count } => self.records_removed += count,
+            CrawlEvent::RetryAttempted { .. } => self.retries += 1,
+            CrawlEvent::BudgetExhausted => self.budget_exhausted += 1,
+        }
+    }
+}
+
+/// Observer that only counts events by kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingObserver {
+    /// The tallies so far.
+    pub counts: EventCounts,
+}
+
+impl CrawlObserver for CountingObserver {
+    fn on_event(&mut self, _at: EventStamp, event: &CrawlEvent) {
+        self.counts.absorb(event);
+    }
+}
+
+/// Bounded ring buffer of the most recent events (with stamps). Useful to
+/// inspect the tail of a long crawl — e.g. what the driver was doing when
+/// the budget ran out — at fixed memory cost.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    capacity: usize,
+    buf: Vec<(EventStamp, CrawlEvent)>,
+    /// Next write position when the buffer is full (ring head).
+    head: usize,
+    total: u64,
+}
+
+impl TraceLog {
+    /// Creates a trace keeping at most `capacity` events (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "trace capacity must be at least 1");
+        Self { capacity, buf: Vec::with_capacity(capacity.min(1024)), head: 0, total: 0 }
+    }
+
+    /// Total events ever observed (≥ `self.len()`).
+    pub fn total_events(&self) -> u64 {
+        self.total
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events were observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<&(EventStamp, CrawlEvent)> {
+        // Ring layout: [head..] is the oldest run, [..head] the newest.
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter()).collect()
+    }
+}
+
+impl CrawlObserver for TraceLog {
+    fn on_event(&mut self, at: EventStamp, event: &CrawlEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push((at, event.clone()));
+        } else {
+            self.buf[self.head] = (at, event.clone());
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(seq: u64) -> EventStamp {
+        EventStamp { seq, nanos: seq * 10 }
+    }
+
+    #[test]
+    fn counting_observer_tallies_by_kind() {
+        let mut c = CountingObserver::default();
+        c.on_event(stamp(0), &CrawlEvent::QueryIssued { terms: 2 });
+        c.on_event(stamp(1), &CrawlEvent::PageReceived { len: 5, full: true });
+        c.on_event(stamp(2), &CrawlEvent::Matched { local: 3 });
+        c.on_event(stamp(3), &CrawlEvent::Matched { local: 4 });
+        c.on_event(stamp(4), &CrawlEvent::Removed { count: 3 });
+        c.on_event(stamp(5), &CrawlEvent::RetryAttempted { attempt: 1 });
+        c.on_event(stamp(6), &CrawlEvent::BudgetExhausted);
+        assert_eq!(c.counts.queries_issued, 1);
+        assert_eq!(c.counts.pages_received, 1);
+        assert_eq!(c.counts.matched, 2);
+        assert_eq!(c.counts.records_removed, 3);
+        assert_eq!(c.counts.retries, 1);
+        assert_eq!(c.counts.budget_exhausted, 1);
+    }
+
+    #[test]
+    fn trace_log_keeps_most_recent_in_order() {
+        let mut t = TraceLog::new(3);
+        for i in 0..5u64 {
+            t.on_event(stamp(i), &CrawlEvent::QueryIssued { terms: i as usize });
+        }
+        assert_eq!(t.total_events(), 5);
+        assert_eq!(t.len(), 3);
+        let seqs: Vec<u64> = t.events().iter().map(|(s, _)| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest-first, most recent retained");
+    }
+
+    #[test]
+    fn trace_log_below_capacity_keeps_everything() {
+        let mut t = TraceLog::new(10);
+        t.on_event(stamp(0), &CrawlEvent::BudgetExhausted);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].1, CrawlEvent::BudgetExhausted);
+    }
+}

@@ -18,10 +18,18 @@
 //! still cover local records (the interface returned them either way), so
 //! the sampling budget is never pure overhead.
 //!
+//! The multi-query sampling rounds are expressed as a [`QuerySource`]
+//! state machine ([`OnlineSource`]) so the shared [`CrawlSession`] driver
+//! still owns the budget loop: `next_query` resumes wherever the round
+//! left off (round start, or mid degree-probing), and `observe` absorbs
+//! the page according to which kind of query was in flight.
+//!
 //! [`reprioritize`]: smartcrawl_index::LazyQueue::reprioritize
 
 use crate::context::TextContext;
-use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
+use crate::crawl::observe::{CrawlObserver, NullObserver};
+use crate::crawl::session::{CrawlSession, Observation, QuerySource};
+use crate::crawl::CrawlReport;
 use crate::estimate::EstimatorKind;
 use crate::local::LocalDb;
 use crate::pool::{PoolConfig, QueryPool};
@@ -29,7 +37,8 @@ use crate::sample::SampleIndex;
 use crate::select::engine::Engine;
 use crate::select::{DeltaRemoval, Strategy};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use smartcrawl_hidden::{Retrieved, SearchInterface};
+use smartcrawl_hidden::{RetryPolicy, Retrieved, SearchInterface, SearchPage};
+use smartcrawl_index::QueryId;
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::HiddenSample;
 use smartcrawl_text::TokenId;
@@ -121,6 +130,262 @@ impl OnlineSampler {
     }
 }
 
+/// What kind of query is currently in flight (how to absorb its page).
+enum Phase {
+    /// No query in flight; the next call starts or resumes a round.
+    RoundStart,
+    /// A sampling round's initial random keyword.
+    AwaitSample,
+    /// A degree-probe keyword of the current sampling round.
+    AwaitProbe,
+    /// An ordinary crawl query popped from the selection engine.
+    AwaitCrawl(QueryId),
+}
+
+/// Degree-probing progress within one sampling round.
+struct ProbeState {
+    candidate: Retrieved,
+    /// The candidate's pool keywords, sorted + deduped.
+    kws: Vec<String>,
+    kw_idx: usize,
+    degree: f64,
+    probes: usize,
+}
+
+/// [`QuerySource`] for online-sampling SmartCrawl: interleaves crawl
+/// rounds (engine selection) with multi-query sampling rounds, resumable
+/// at any point so the [`CrawlSession`] keeps owning the budget loop.
+pub struct OnlineSource<'a> {
+    cfg: OnlineCrawlConfig,
+    engine: Engine<'a>,
+    sampler: OnlineSampler,
+    phase: Phase,
+    probe: Option<ProbeState>,
+    sampling_due: f64,
+    unrefreshed: usize,
+}
+
+impl<'a> OnlineSource<'a> {
+    /// Builds the source. `ctx` must be the context `local` was built with.
+    pub fn new(local: &'a LocalDb, k: usize, cfg: &OnlineCrawlConfig, ctx: TextContext) -> Self {
+        assert!(
+            (0.0..=0.9).contains(&cfg.sampling_fraction),
+            "sampling fraction must be in [0, 0.9]"
+        );
+        let pool = QueryPool::generate(local, &cfg.pool);
+        let strategy = Strategy::Est { kind: cfg.kind, delta_removal: cfg.delta_removal };
+        let engine = Engine::new(
+            local,
+            &SampleIndex::empty(),
+            pool,
+            strategy,
+            cfg.matcher,
+            k,
+            cfg.omega,
+            None,
+            ctx,
+        );
+
+        // Single keywords of the local database, rendered through its vocab.
+        let keyword_pool: Vec<String> = {
+            let mut toks: Vec<TokenId> =
+                local.docs().iter().flat_map(|d| d.iter()).collect();
+            toks.sort_unstable();
+            toks.dedup();
+            let mut words: Vec<String> =
+                toks.iter().map(|&t| engine.ctx.vocab.word(t).to_owned()).collect();
+            words.sort_unstable(); // binary_search during degree probing
+            words
+        };
+        Self {
+            sampler: OnlineSampler::new(keyword_pool, k, cfg.seed),
+            cfg: cfg.clone(),
+            engine,
+            phase: Phase::RoundStart,
+            probe: None,
+            sampling_due: 0.0,
+            unrefreshed: 0,
+        }
+    }
+
+    /// Ends a sampling round: rejection-samples the probed candidate and
+    /// refreshes the engine's estimator when enough new records landed.
+    fn finalize_round(&mut self, ps: ProbeState) {
+        if ps.degree <= 0.0 {
+            return;
+        }
+        let accept = (1.0 / self.sampler.k as f64) / ps.degree;
+        if !self.sampler.rng.gen_bool(accept.min(1.0)) {
+            return;
+        }
+        self.sampler.accepted += 1;
+        let is_new = !self.sampler.by_id.contains_key(&ps.candidate.external_id.0);
+        self.sampler.by_id.insert(ps.candidate.external_id.0, ps.candidate);
+        if is_new {
+            self.unrefreshed += 1;
+            if self.unrefreshed >= self.cfg.refresh_every {
+                self.unrefreshed = 0;
+                let sample = self.sampler.sample();
+                let index = SampleIndex::build(&sample, &mut self.engine.ctx);
+                self.engine.refresh_sample(&index);
+            }
+        }
+    }
+
+    /// Whether a page observes `kw` as solid, and at what frequency
+    /// (`None` = observed overflowing).
+    fn solid_frequency(&mut self, kw: &str, page: &[Retrieved], k: usize) -> Option<usize> {
+        let fm = page
+            .iter()
+            .filter(|r| self.engine.ctx.tokenizer.raw_tokens(&r.full_text()).any(|t| t == kw))
+            .count();
+        if page.len() < k || fm < page.len() {
+            Some(fm)
+        } else {
+            None
+        }
+    }
+}
+
+impl QuerySource for OnlineSource<'_> {
+    fn next_query(&mut self, issued: usize) -> Option<Vec<String>> {
+        loop {
+            // Resume mid-round degree probing first.
+            if let Some(ps) = self.probe.as_mut() {
+                while ps.kw_idx < ps.kws.len() {
+                    let kw = &ps.kws[ps.kw_idx];
+                    match self.sampler.probe_cache.get(kw).copied() {
+                        Some(m) => {
+                            ps.kw_idx += 1;
+                            if let Some(m) = m {
+                                if m > 0 {
+                                    ps.degree += 1.0 / m as f64;
+                                }
+                            }
+                        }
+                        None => {
+                            // Unprobed keywords are skipped once the probe
+                            // or budget cap is hit; the degree is then an
+                            // underestimate, making acceptance slightly too
+                            // likely — a documented bias/cost trade-off.
+                            if ps.probes >= self.cfg.max_probes_per_round
+                                || issued >= self.cfg.budget
+                            {
+                                ps.kw_idx += 1;
+                                continue;
+                            }
+                            ps.probes += 1;
+                            let kw = kw.clone();
+                            ps.kw_idx += 1;
+                            self.phase = Phase::AwaitProbe;
+                            return Some(vec![kw]);
+                        }
+                    }
+                }
+                let ps = self.probe.take().expect("probe state present");
+                self.finalize_round(ps);
+            }
+
+            // Round start.
+            if self.engine.live_count() == 0 {
+                return None;
+            }
+            self.sampling_due += self.cfg.sampling_fraction;
+            if self.sampling_due >= 1.0 && !self.sampler.pool.is_empty() {
+                self.sampling_due -= 1.0;
+                // One sampling round (costs 1 + #probes queries).
+                self.sampler.rounds += 1;
+                let w = self.sampler.pool
+                    [self.sampler.rng.gen_range(0..self.sampler.pool.len())]
+                .clone();
+                self.phase = Phase::AwaitSample;
+                return Some(vec![w]);
+            }
+            // One crawl round.
+            let (qid, _prio) = self.engine.select_next()?;
+            let keywords = self.engine.render(qid);
+            self.phase = Phase::AwaitCrawl(qid);
+            return Some(keywords);
+        }
+    }
+
+    fn observe(&mut self, keywords: &[String], page: &SearchPage, k: usize) -> Observation {
+        match std::mem::replace(&mut self.phase, Phase::RoundStart) {
+            Phase::AwaitSample => {
+                // Sampling pages still cover local records.
+                let outcome = self.engine.process_external(&page.records);
+                let obs = Observation::from_outcome(outcome, &page.records);
+                let w = &keywords[0];
+                let full_matches: Vec<usize> = page
+                    .records
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        self.engine
+                            .ctx
+                            .tokenizer
+                            .raw_tokens(&r.full_text())
+                            .any(|t| &t == w)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                let solid = page.records.len() < k || full_matches.len() < page.records.len();
+                self.sampler
+                    .probe_cache
+                    .insert(w.clone(), if solid { Some(full_matches.len()) } else { None });
+                if solid && !full_matches.is_empty() {
+                    let pick = self.sampler.rng.gen_range(0..full_matches.len());
+                    let candidate = page.records[full_matches[pick]].clone();
+                    let mut kws: Vec<String> = self
+                        .engine
+                        .ctx
+                        .tokenizer
+                        .raw_tokens(&candidate.full_text())
+                        .filter(|t| self.sampler.pool.binary_search(t).is_ok())
+                        .collect();
+                    kws.sort_unstable();
+                    kws.dedup();
+                    self.probe =
+                        Some(ProbeState { candidate, kws, kw_idx: 0, degree: 0.0, probes: 0 });
+                }
+                obs
+            }
+            Phase::AwaitProbe => {
+                let outcome = self.engine.process_external(&page.records);
+                let obs = Observation::from_outcome(outcome, &page.records);
+                let kw = &keywords[0];
+                let m = self.solid_frequency(kw, &page.records, k);
+                self.sampler.probe_cache.insert(kw.clone(), m);
+                if let (Some(ps), Some(m)) = (self.probe.as_mut(), m) {
+                    if m > 0 {
+                        ps.degree += 1.0 / m as f64;
+                    }
+                }
+                obs
+            }
+            Phase::AwaitCrawl(qid) => {
+                let outcome = self.engine.process(qid, &page.records);
+                Observation::from_outcome(outcome, &page.records)
+            }
+            Phase::RoundStart => unreachable!("observe without a query in flight"),
+        }
+    }
+
+    fn on_failure(&mut self, _keywords: &[String]) {
+        match std::mem::replace(&mut self.phase, Phase::RoundStart) {
+            // The popped query never got a page; return it to the pool.
+            Phase::AwaitCrawl(qid) => self.engine.requeue(qid),
+            // AwaitSample: the round is wasted. AwaitProbe: the keyword
+            // stays unprobed (skipped); probing resumes via `self.probe`.
+            Phase::AwaitSample | Phase::AwaitProbe | Phase::RoundStart => {}
+        }
+    }
+
+    fn selection_stats(&self) -> crate::select::engine::SelectionStats {
+        self.engine.stats
+    }
+}
+
 /// Runs SmartCrawl with runtime sampling. Returns the usual report; every
 /// issued query — crawl or sampling — appears in `steps` and counts
 /// against the budget.
@@ -130,180 +395,20 @@ pub fn online_smart_crawl<I: SearchInterface>(
     cfg: &OnlineCrawlConfig,
     ctx: TextContext,
 ) -> CrawlReport {
-    assert!(
-        (0.0..=0.9).contains(&cfg.sampling_fraction),
-        "sampling fraction must be in [0, 0.9]"
-    );
-    let pool = QueryPool::generate(local, &cfg.pool);
-    let strategy = Strategy::Est { kind: cfg.kind, delta_removal: cfg.delta_removal };
-    let mut engine = Engine::new(
-        local,
-        &SampleIndex::empty(),
-        pool,
-        strategy,
-        cfg.matcher,
-        iface.k(),
-        cfg.omega,
-        None,
-        ctx,
-    );
+    online_smart_crawl_with(local, iface, cfg, RetryPolicy::none(), &mut NullObserver, ctx)
+}
 
-    // Single keywords of the local database, rendered through its vocab.
-    let keyword_pool: Vec<String> = {
-        let mut toks: Vec<TokenId> =
-            local.docs().iter().flat_map(|d| d.iter()).collect();
-        toks.sort_unstable();
-        toks.dedup();
-        let mut words: Vec<String> =
-            toks.iter().map(|&t| engine.ctx.vocab.word(t).to_owned()).collect();
-        words.sort_unstable(); // binary_search during degree probing
-        words
-    };
-    let mut sampler = OnlineSampler::new(keyword_pool, iface.k(), cfg.seed);
-
-    let mut report = CrawlReport::default();
-    let k = iface.k();
-    let mut sampling_due = 0.0f64;
-    let mut unrefreshed = 0usize;
-
-    let record_step =
-        |report: &mut CrawlReport, keywords: Vec<String>, page: &[Retrieved], k: usize| {
-            report.steps.push(CrawlStep {
-                keywords,
-                returned: page.iter().map(|r| r.external_id).collect(),
-                full_page: page.len() >= k,
-            });
-        };
-    let record_covered = |report: &mut CrawlReport,
-                          covered: Vec<(usize, usize)>,
-                          page: &[Retrieved]| {
-        for (local_idx, page_idx) in covered {
-            report.enriched.push(EnrichedPair {
-                local: local_idx,
-                external: page[page_idx].external_id,
-                payload: page[page_idx].payload.clone(),
-                hidden_fields: page[page_idx].fields.clone(),
-            });
-        }
-    };
-
-    while report.steps.len() < cfg.budget && engine.live_count() > 0 {
-        sampling_due += cfg.sampling_fraction;
-        if sampling_due >= 1.0 && !sampler.pool.is_empty() {
-            sampling_due -= 1.0;
-            // --- One sampling round (costs 1 + #probes queries). --------
-            sampler.rounds += 1;
-            let w = sampler.pool[sampler.rng.gen_range(0..sampler.pool.len())].clone();
-            let Ok(page) = iface.search(std::slice::from_ref(&w)) else { break };
-            let page = page.records;
-            // Sampling pages still cover local records.
-            let outcome = engine.process_external(&page);
-            record_covered(&mut report, outcome.newly_covered, &page);
-            report.records_removed += outcome.removed;
-            record_step(&mut report, vec![w.clone()], &page, k);
-
-            let full_matches: Vec<&Retrieved> = page
-                .iter()
-                .filter(|r| {
-                    engine
-                        .ctx
-                        .tokenizer
-                        .raw_tokens(&r.full_text())
-                        .any(|t| t == w)
-                })
-                .collect();
-            let solid = page.len() < k || full_matches.len() < page.len();
-            sampler
-                .probe_cache
-                .insert(w.clone(), if solid { Some(full_matches.len()) } else { None });
-            if !solid || full_matches.is_empty() {
-                continue;
-            }
-            let candidate =
-                full_matches[sampler.rng.gen_range(0..full_matches.len())].clone();
-
-            // Bounded degree probing (unprobed keywords are skipped; the
-            // degree is then an underestimate, making acceptance slightly
-            // too likely — a documented bias/cost trade-off).
-            let mut kws: Vec<String> = engine
-                .ctx
-                .tokenizer
-                .raw_tokens(&candidate.full_text())
-                .filter(|t| sampler.pool.binary_search(t).is_ok())
-                .collect();
-            kws.sort_unstable();
-            kws.dedup();
-            let mut degree = 0.0f64;
-            let mut probes = 0usize;
-            for kw in &kws {
-                let cached = sampler.probe_cache.get(kw).copied();
-                let m = match cached {
-                    Some(m) => m,
-                    None => {
-                        if probes >= cfg.max_probes_per_round
-                            || report.steps.len() >= cfg.budget
-                        {
-                            continue;
-                        }
-                        probes += 1;
-                        let Ok(p) = iface.search(std::slice::from_ref(kw)) else { break };
-                        let p = p.records;
-                        let outcome = engine.process_external(&p);
-                        record_covered(&mut report, outcome.newly_covered, &p);
-                        report.records_removed += outcome.removed;
-                        record_step(&mut report, vec![kw.clone()], &p, k);
-                        let fm = p
-                            .iter()
-                            .filter(|r| {
-                                engine
-                                    .ctx
-                                    .tokenizer
-                                    .raw_tokens(&r.full_text())
-                                    .any(|t| &t == kw)
-                            })
-                            .count();
-                        let m = if p.len() < k || fm < p.len() { Some(fm) } else { None };
-                        sampler.probe_cache.insert(kw.clone(), m);
-                        m
-                    }
-                };
-                if let Some(m) = m {
-                    if m > 0 {
-                        degree += 1.0 / m as f64;
-                    }
-                }
-            }
-            if degree <= 0.0 {
-                continue;
-            }
-            if sampler.rng.gen_bool(((1.0 / k as f64) / degree).min(1.0)) {
-                sampler.accepted += 1;
-                let is_new =
-                    !sampler.by_id.contains_key(&candidate.external_id.0);
-                sampler.by_id.insert(candidate.external_id.0, candidate);
-                if is_new {
-                    unrefreshed += 1;
-                    if unrefreshed >= cfg.refresh_every {
-                        unrefreshed = 0;
-                        let sample = sampler.sample();
-                        let index = SampleIndex::build(&sample, &mut engine.ctx);
-                        engine.refresh_sample(&index);
-                    }
-                }
-            }
-        } else {
-            // --- One crawl round. ----------------------------------------
-            let Some((qid, _)) = engine.select_next() else { break };
-            let keywords = engine.render(qid);
-            let Ok(page) = iface.search(&keywords) else { break };
-            let outcome = engine.process(qid, &page.records);
-            report.records_removed += outcome.removed;
-            record_covered(&mut report, outcome.newly_covered, &page.records);
-            record_step(&mut report, keywords, &page.records, k);
-        }
-    }
-    report.selection = engine.stats;
-    report
+/// [`online_smart_crawl`] with a retry policy and an observer.
+pub fn online_smart_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    iface: &mut I,
+    cfg: &OnlineCrawlConfig,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
+    ctx: TextContext,
+) -> CrawlReport {
+    let mut source = OnlineSource::new(local, iface.k(), cfg, ctx);
+    CrawlSession::new(cfg.budget).with_retry(retry).run(&mut source, iface, observer)
 }
 
 #[cfg(test)]

@@ -18,12 +18,14 @@
 //! report exposes per step.
 
 use crate::context::TextContext;
-use crate::crawl::{CrawlReport, CrawlStep};
+use crate::crawl::observe::{CrawlObserver, NullObserver};
+use crate::crawl::session::{CrawlSession, Observation, QuerySource};
+use crate::crawl::CrawlReport;
 use crate::estimate::{Estimator, EstimatorKind};
 use crate::local::LocalDb;
 use crate::pool::{PoolConfig, QueryPool};
 use crate::sample::SampleIndex;
-use smartcrawl_hidden::{ExternalId, Retrieved, SearchInterface};
+use smartcrawl_hidden::{ExternalId, RetryPolicy, Retrieved, SearchInterface, SearchPage};
 use smartcrawl_sampler::HiddenSample;
 use std::collections::HashSet;
 
@@ -55,67 +57,115 @@ pub struct PopulateOutcome {
     pub rows: Vec<Retrieved>,
 }
 
+/// [`QuerySource`] for row population: pool queries in decreasing order of
+/// expected page yield, collecting every distinct returned record. The
+/// collected rows accumulate in [`PopulateSource::rows`] (this source
+/// enriches nothing — its product is new rows, not pairs).
+pub struct PopulateSource {
+    pool: QueryPool,
+    /// Query indexes, best expected yield first.
+    order: Vec<usize>,
+    cursor: usize,
+    seen: HashSet<ExternalId>,
+    /// Distinct collected rows, first-seen order.
+    pub rows: Vec<Retrieved>,
+    ctx: TextContext,
+}
+
+impl PopulateSource {
+    /// Mines the pool from the local table and ranks it by expected yield.
+    /// `ctx` must be the context `local` was built with.
+    pub fn new(
+        local: &LocalDb,
+        sample: &HiddenSample,
+        k: usize,
+        cfg: &PopulateConfig,
+        mut ctx: TextContext,
+    ) -> Self {
+        let pool = QueryPool::generate(local, &cfg.pool);
+        let sample_index = SampleIndex::build(sample, &mut ctx);
+        let estimator = Estimator::new(
+            EstimatorKind::Biased,
+            k,
+            sample_index.theta(),
+            local.len(),
+            sample_index.len(),
+        );
+
+        // Expected page yield per query: an overflowing query fills the
+        // page (k records); a solid one returns ≈ |q(H)|̂ records.
+        let mut order: Vec<(usize, f64)> = pool
+            .queries()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let freq_d = pool.matches(smartcrawl_index::QueryId(i as u32)).len();
+                let freq_hs = sample_index.frequency(q.tokens());
+                let est_hidden = if freq_hs > 0 && sample_index.theta() > 0.0 {
+                    freq_hs as f64 / sample_index.theta()
+                } else if estimator.alpha() > 0.0 {
+                    freq_d as f64 / estimator.alpha()
+                } else {
+                    freq_d as f64
+                };
+                (i, est_hidden.min(k as f64))
+            })
+            .collect();
+        order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        Self {
+            pool,
+            order: order.into_iter().map(|(i, _)| i).collect(),
+            cursor: 0,
+            seen: HashSet::new(),
+            rows: Vec::new(),
+            ctx,
+        }
+    }
+}
+
+impl QuerySource for PopulateSource {
+    fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+        let qi = *self.order.get(self.cursor)?;
+        self.cursor += 1;
+        Some(self.pool.render(smartcrawl_index::QueryId(qi as u32), &self.ctx))
+    }
+
+    fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
+        for r in &page.records {
+            if self.seen.insert(r.external_id) {
+                self.rows.push(r.clone());
+            }
+        }
+        Observation::default()
+    }
+}
+
 /// Crawls the hidden database for new rows resembling the local table.
 pub fn populate_crawl<I: SearchInterface>(
     local: &LocalDb,
     sample: &HiddenSample,
     iface: &mut I,
     cfg: &PopulateConfig,
-    mut ctx: TextContext,
+    ctx: TextContext,
 ) -> PopulateOutcome {
-    let pool = QueryPool::generate(local, &cfg.pool);
-    let sample_index = SampleIndex::build(sample, &mut ctx);
-    let estimator = Estimator::new(
-        EstimatorKind::Biased,
-        iface.k(),
-        sample_index.theta(),
-        local.len(),
-        sample_index.len(),
-    );
-    let k = iface.k();
+    populate_crawl_with(local, sample, iface, cfg, RetryPolicy::none(), &mut NullObserver, ctx)
+}
 
-    // Expected page yield per query: an overflowing query fills the page
-    // (k records); a solid one returns ≈ |q(H)|̂ records.
-    let mut order: Vec<(usize, f64)> = pool
-        .queries()
-        .iter()
-        .enumerate()
-        .map(|(i, q)| {
-            let freq_d = pool.matches(smartcrawl_index::QueryId(i as u32)).len();
-            let freq_hs = sample_index.frequency(q.tokens());
-            let est_hidden = if freq_hs > 0 && sample_index.theta() > 0.0 {
-                freq_hs as f64 / sample_index.theta()
-            } else if estimator.alpha() > 0.0 {
-                freq_d as f64 / estimator.alpha()
-            } else {
-                freq_d as f64
-            };
-            (i, est_hidden.min(k as f64))
-        })
-        .collect();
-    order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-
-    let mut report = CrawlReport::default();
-    let mut seen: HashSet<ExternalId> = HashSet::new();
-    let mut rows: Vec<Retrieved> = Vec::new();
-    for (qi, _yield_est) in order {
-        if report.steps.len() >= cfg.budget {
-            break;
-        }
-        let keywords = pool.render(smartcrawl_index::QueryId(qi as u32), &ctx);
-        let Ok(page) = iface.search(&keywords) else { break };
-        for r in &page.records {
-            if seen.insert(r.external_id) {
-                rows.push(r.clone());
-            }
-        }
-        report.steps.push(CrawlStep {
-            keywords,
-            returned: page.records.iter().map(|r| r.external_id).collect(),
-            full_page: page.is_full(k),
-        });
-    }
-    PopulateOutcome { report, rows }
+/// [`populate_crawl`] with a retry policy and an observer.
+pub fn populate_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    sample: &HiddenSample,
+    iface: &mut I,
+    cfg: &PopulateConfig,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
+    ctx: TextContext,
+) -> PopulateOutcome {
+    let mut source = PopulateSource::new(local, sample, iface.k(), cfg, ctx);
+    let report =
+        CrawlSession::new(cfg.budget).with_retry(retry).run(&mut source, iface, observer);
+    PopulateOutcome { report, rows: source.rows }
 }
 
 #[cfg(test)]

@@ -1,0 +1,482 @@
+//! The shared crawl driver: one budget loop for every approach.
+//!
+//! Every crawler in the paper's evaluation runs the same skeleton — pick a
+//! query, issue it, match the page against `D`, record the step — and they
+//! differ only in *how the next query is chosen* and *what feedback they
+//! need from the page*. [`CrawlSession`] owns the skeleton: the budget
+//! loop, retry handling under a [`RetryPolicy`], [`CrawlStep`] /
+//! [`EnrichedPair`] bookkeeping, per-phase timing, and the
+//! [`CrawlObserver`](super::CrawlObserver) event stream. The per-approach
+//! logic lives behind the [`QuerySource`] trait, with one implementation
+//! per approach:
+//!
+//! | source | approach |
+//! |---|---|
+//! | [`EngineSource`] | SmartCrawl / IdealCrawl (benefit-driven selection) |
+//! | [`NaiveSource`](super::NaiveSource) | NaiveCrawl |
+//! | [`FullSource`](super::FullSource) | FullCrawl |
+//! | [`OnlineSource`](super::OnlineSource) | runtime-sampling SmartCrawl |
+//! | [`PopulateSource`](super::PopulateSource) | row population |
+//!
+//! Robustness and observability improvements land here once and apply to
+//! every approach; later batching/async/caching work has exactly one loop
+//! to touch.
+
+use crate::crawl::observe::{CrawlEvent, CrawlObserver, EventCounts, EventStamp};
+use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
+use crate::local::{LocalDb, LocalMatchIndex};
+use crate::select::engine::{Engine, ProcessOutcome, SelectionStats};
+use smartcrawl_hidden::{RetryPolicy, Retrieved, SearchError, SearchInterface, SearchPage};
+use smartcrawl_index::QueryId;
+use smartcrawl_match::Matcher;
+use std::time::Instant;
+
+/// Wall-clock nanoseconds spent in each phase of the crawl loop, plus the
+/// simulated backoff spent waiting out transient failures. Surfaced in
+/// [`CrawlReport::timing`](crate::crawl::CrawlReport::timing) and the bench
+/// harness timing tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time inside [`QuerySource::next_query`] (benefit maintenance,
+    /// priority-queue pops, pool ordering).
+    pub selection_ns: u64,
+    /// Time inside [`SearchInterface::search`] calls.
+    pub search_ns: u64,
+    /// Time inside [`QuerySource::observe`] (page matching + bookkeeping).
+    pub matching_ns: u64,
+    /// Simulated backoff ticks spent between retry attempts (virtual time,
+    /// not wall clock).
+    pub backoff_ticks: u64,
+}
+
+impl PhaseTimings {
+    /// Total measured wall-clock nanoseconds across the three phases.
+    pub fn total_ns(&self) -> u64 {
+        self.selection_ns + self.search_ns + self.matching_ns
+    }
+}
+
+/// What a [`QuerySource`] learned from one served page.
+#[derive(Debug, Default)]
+pub struct Observation {
+    /// Newly asserted enrichment pairs (deduplicated by the source).
+    pub newly_covered: Vec<EnrichedPair>,
+    /// Local records removed from consideration by this page.
+    pub removed: usize,
+}
+
+impl Observation {
+    /// Builds an observation from an engine outcome and the page it came
+    /// from (`(local, page position)` pairs become [`EnrichedPair`]s).
+    pub(crate) fn from_outcome(outcome: ProcessOutcome, page: &[Retrieved]) -> Self {
+        let newly_covered = outcome
+            .newly_covered
+            .into_iter()
+            .map(|(local_idx, page_idx)| EnrichedPair {
+                local: local_idx,
+                external: page[page_idx].external_id,
+                payload: page[page_idx].payload.clone(),
+                hidden_fields: page[page_idx].fields.clone(),
+            })
+            .collect();
+        Self { newly_covered, removed: outcome.removed }
+    }
+}
+
+/// The per-approach half of a crawl: supplies queries and absorbs pages.
+/// Implementations hold whatever state their strategy needs (a selection
+/// engine, a shuffled record order, a sampler state machine, …).
+pub trait QuerySource {
+    /// The next query to issue, or `None` when the source is exhausted
+    /// (pool drained, nothing left to cover). `issued` is the number of
+    /// queries served so far — sources with internal round structure (e.g.
+    /// online sampling) use it to bound multi-query rounds.
+    fn next_query(&mut self, issued: usize) -> Option<Vec<String>>;
+
+    /// Absorbs the served page of the query last returned by
+    /// [`QuerySource::next_query`].
+    fn observe(&mut self, keywords: &[String], page: &SearchPage, k: usize) -> Observation;
+
+    /// Called instead of [`QuerySource::observe`] when the query was
+    /// dropped after exhausting its retries; sources may re-queue it.
+    fn on_failure(&mut self, _keywords: &[String]) {}
+
+    /// Final selection-machinery work counters (zeros for approaches
+    /// without selection machinery).
+    fn selection_stats(&self) -> SelectionStats {
+        SelectionStats::default()
+    }
+}
+
+/// Stamps and dispatches events, and keeps the session's own tallies.
+struct Instrument<'a> {
+    start: Instant,
+    seq: u64,
+    counts: EventCounts,
+    observer: &'a mut dyn CrawlObserver,
+}
+
+impl Instrument<'_> {
+    fn emit(&mut self, event: CrawlEvent) {
+        let at = EventStamp {
+            seq: self.seq,
+            nanos: self.start.elapsed().as_nanos() as u64,
+        };
+        self.seq += 1;
+        self.counts.absorb(&event);
+        self.observer.on_event(at, &event);
+    }
+}
+
+/// The shared budget-loop driver. Construct with a query budget, optionally
+/// attach a [`RetryPolicy`], then [`run`](CrawlSession::run) a
+/// [`QuerySource`] against a [`SearchInterface`].
+///
+/// Budget accounting: every *attempt* is charged against the budget —
+/// served queries (which become [`CrawlStep`]s) and failed transient
+/// attempts alike, mirroring real APIs where a 5xx still burns quota time.
+/// The session stops when the budget is spent, the source is exhausted, or
+/// the interface reports [`SearchError::BudgetExhausted`].
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlSession {
+    budget: usize,
+    retry: RetryPolicy,
+}
+
+impl CrawlSession {
+    /// A session with the given query budget and no retries.
+    pub fn new(budget: usize) -> Self {
+        Self { budget, retry: RetryPolicy::none() }
+    }
+
+    /// Attaches a retry policy for transient/rate-limited failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The session's query budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Drives `source` against `iface` until a stop condition, reporting
+    /// every step, enrichment pair, phase timing, and event count.
+    pub fn run<S: QuerySource + ?Sized, I: SearchInterface>(
+        &self,
+        source: &mut S,
+        iface: &mut I,
+        observer: &mut dyn CrawlObserver,
+    ) -> CrawlReport {
+        let mut ins = Instrument {
+            start: Instant::now(),
+            seq: 0,
+            counts: EventCounts::default(),
+            observer,
+        };
+        let k = iface.k();
+        let mut report = CrawlReport::default();
+        let mut timing = PhaseTimings::default();
+        // Transient attempts charged to the budget on top of served steps.
+        let mut failed_attempts = 0usize;
+
+        'session: while report.steps.len() + failed_attempts < self.budget {
+            let t = Instant::now();
+            let next = source.next_query(report.steps.len());
+            timing.selection_ns += t.elapsed().as_nanos() as u64;
+            let Some(keywords) = next else {
+                break; // source exhausted: pool drained or nothing live
+            };
+            ins.emit(CrawlEvent::QueryIssued { terms: keywords.len() });
+
+            let mut attempt = 0usize;
+            let page = loop {
+                let t = Instant::now();
+                let result = iface.search(&keywords);
+                timing.search_ns += t.elapsed().as_nanos() as u64;
+                match result {
+                    Ok(page) => break page,
+                    Err(SearchError::BudgetExhausted) => {
+                        ins.emit(CrawlEvent::BudgetExhausted);
+                        break 'session;
+                    }
+                    Err(err) => {
+                        debug_assert!(err.is_retryable());
+                        failed_attempts += 1;
+                        let budget_left =
+                            report.steps.len() + failed_attempts < self.budget;
+                        if attempt >= self.retry.max_retries || !budget_left {
+                            // Retries exhausted: drop this query, carry on.
+                            source.on_failure(&keywords);
+                            continue 'session;
+                        }
+                        attempt += 1;
+                        timing.backoff_ticks += self.retry.backoff(attempt);
+                        ins.emit(CrawlEvent::RetryAttempted { attempt });
+                    }
+                }
+            };
+
+            ins.emit(CrawlEvent::PageReceived {
+                len: page.records.len(),
+                full: page.is_full(k),
+            });
+            let t = Instant::now();
+            let observation = source.observe(&keywords, &page, k);
+            timing.matching_ns += t.elapsed().as_nanos() as u64;
+
+            for pair in &observation.newly_covered {
+                ins.emit(CrawlEvent::Matched { local: pair.local });
+            }
+            if observation.removed > 0 {
+                ins.emit(CrawlEvent::Removed { count: observation.removed });
+            }
+            report.records_removed += observation.removed;
+            report.enriched.extend(observation.newly_covered);
+            report.steps.push(CrawlStep {
+                keywords,
+                returned: page.records.iter().map(|r| r.external_id).collect(),
+                full_page: page.is_full(k),
+            });
+        }
+
+        if report.steps.len() + failed_attempts >= self.budget
+            && ins.counts.budget_exhausted == 0
+        {
+            ins.emit(CrawlEvent::BudgetExhausted);
+        }
+        report.selection = source.selection_stats();
+        report.timing = timing;
+        report.events = ins.counts;
+        report
+    }
+}
+
+/// Shared page-to-`D` matching with covered-record deduplication — the
+/// bookkeeping NaiveCrawl and FullCrawl previously each reimplemented.
+pub(crate) struct PageMatcher<'a> {
+    index: LocalMatchIndex<'a>,
+    mask: Vec<bool>,
+    covered: Vec<bool>,
+    matcher: Matcher,
+}
+
+impl<'a> PageMatcher<'a> {
+    pub(crate) fn new(local: &'a LocalDb, matcher: Matcher) -> Self {
+        Self {
+            index: LocalMatchIndex::build(local),
+            mask: vec![true; local.len()],
+            covered: vec![false; local.len()],
+            matcher,
+        }
+    }
+
+    /// Matches a page against `D`, asserting each local record's first
+    /// match as its enrichment pair.
+    pub(crate) fn absorb(
+        &mut self,
+        page: &[Retrieved],
+        ctx: &mut crate::context::TextContext,
+    ) -> Vec<EnrichedPair> {
+        let mut pairs = Vec::new();
+        for r in page {
+            let rdoc = ctx.doc_of_fields(&r.fields);
+            for d in self.index.find_matches(&rdoc, self.matcher, &self.mask) {
+                if !self.covered[d] {
+                    self.covered[d] = true;
+                    pairs.push(EnrichedPair {
+                        local: d,
+                        external: r.external_id,
+                        payload: r.payload.clone(),
+                        hidden_fields: r.fields.clone(),
+                    });
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// [`QuerySource`] over the benefit-driven selection [`Engine`]: powers
+/// SmartCrawl (QSel-Simple/Bound/Est) and IdealCrawl (QSel-Ideal).
+pub struct EngineSource<'a> {
+    engine: Engine<'a>,
+    pending: Option<QueryId>,
+}
+
+impl<'a> EngineSource<'a> {
+    pub(crate) fn new(engine: Engine<'a>) -> Self {
+        Self { engine, pending: None }
+    }
+}
+
+impl QuerySource for EngineSource<'_> {
+    fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+        if self.engine.live_count() == 0 {
+            return None;
+        }
+        let (qid, _prio) = self.engine.select_next()?;
+        self.pending = Some(qid);
+        Some(self.engine.render(qid))
+    }
+
+    fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
+        let qid = self.pending.take().expect("observe must follow next_query");
+        let outcome = self.engine.process(qid, &page.records);
+        Observation::from_outcome(outcome, &page.records)
+    }
+
+    fn on_failure(&mut self, _keywords: &[String]) {
+        // The query never got a page; give it back to the pool so a later
+        // (possibly luckier) attempt can still spend it.
+        if let Some(qid) = self.pending.take() {
+            self.engine.requeue(qid);
+        }
+    }
+
+    fn selection_stats(&self) -> SelectionStats {
+        self.engine.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::observe::{CountingObserver, NullObserver, TraceLog};
+    use smartcrawl_hidden::{
+        FlakyInterface, HiddenDb, HiddenDbBuilder, HiddenRecord, Metered,
+    };
+    use smartcrawl_text::Record;
+
+    fn tiny_db() -> HiddenDb {
+        HiddenDbBuilder::new()
+            .k(2)
+            .records([
+                HiddenRecord::new(0, Record::from(["thai house"]), vec!["p0".into()], 1.0),
+                HiddenRecord::new(1, Record::from(["steak house"]), vec!["p1".into()], 2.0),
+            ])
+            .build()
+    }
+
+    /// A source that issues the same single-keyword query forever.
+    struct RepeatSource {
+        word: String,
+        observed: usize,
+        failed: usize,
+    }
+
+    impl RepeatSource {
+        fn new(word: &str) -> Self {
+            Self { word: word.into(), observed: 0, failed: 0 }
+        }
+    }
+
+    impl QuerySource for RepeatSource {
+        fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+            Some(vec![self.word.clone()])
+        }
+
+        fn observe(&mut self, _k: &[String], _p: &SearchPage, _kk: usize) -> Observation {
+            self.observed += 1;
+            Observation::default()
+        }
+
+        fn on_failure(&mut self, _keywords: &[String]) {
+            self.failed += 1;
+        }
+    }
+
+    #[test]
+    fn session_respects_its_own_budget() {
+        let db = tiny_db();
+        let mut iface = Metered::new(&db, None);
+        let mut source = RepeatSource::new("house");
+        let report =
+            CrawlSession::new(4).run(&mut source, &mut iface, &mut NullObserver);
+        assert_eq!(report.queries_issued(), 4);
+        assert_eq!(iface.queries_issued(), 4);
+        assert_eq!(source.observed, 4);
+        assert_eq!(report.events.queries_issued, 4);
+        assert_eq!(report.events.pages_received, 4);
+        assert_eq!(report.events.budget_exhausted, 1);
+    }
+
+    #[test]
+    fn session_stops_on_interface_budget() {
+        let db = tiny_db();
+        let mut iface = Metered::new(&db, Some(2));
+        let mut source = RepeatSource::new("house");
+        let mut counting = CountingObserver::default();
+        let report = CrawlSession::new(10).run(&mut source, &mut iface, &mut counting);
+        assert_eq!(report.queries_issued(), 2);
+        assert_eq!(counting.counts.budget_exhausted, 1);
+        assert_eq!(counting.counts, report.events);
+    }
+
+    #[test]
+    fn retries_survive_transient_failures() {
+        let db = tiny_db();
+        // 50% failure rate, generous retries: every query eventually lands
+        // until the attempt budget runs out.
+        let mut iface = FlakyInterface::new(Metered::new(&db, None), 0.5, 42);
+        let mut source = RepeatSource::new("house");
+        let session = CrawlSession::new(30)
+            .with_retry(smartcrawl_hidden::RetryPolicy::standard());
+        let report = session.run(&mut source, &mut iface, &mut NullObserver);
+        assert!(report.events.retries > 0, "seeded 50% flakiness must retry");
+        // Attempts (served + failed) are capped by the session budget.
+        assert!(report.queries_issued() + iface.failures_injected() <= 30 + 3);
+        // Served queries agree between report and the wrapped meter.
+        assert_eq!(report.queries_issued(), iface.queries_issued());
+        assert!(report.timing.backoff_ticks > 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_drops_the_query_and_continues() {
+        let db = tiny_db();
+        // Always fails: with no retries every attempt is dropped and
+        // charged to the budget; nothing is ever served.
+        let mut iface = FlakyInterface::new(Metered::new(&db, None), 1.0, 7);
+        let mut source = RepeatSource::new("house");
+        let report =
+            CrawlSession::new(5).run(&mut source, &mut iface, &mut NullObserver);
+        assert_eq!(report.queries_issued(), 0);
+        assert_eq!(source.failed, 5, "each dropped query notifies the source");
+        assert_eq!(report.events.budget_exhausted, 1);
+        assert_eq!(iface.queries_issued(), 0);
+    }
+
+    #[test]
+    fn event_stamps_are_monotonic() {
+        let db = tiny_db();
+        let mut iface = Metered::new(&db, None);
+        let mut source = RepeatSource::new("house");
+        let mut trace = TraceLog::new(64);
+        CrawlSession::new(3).run(&mut source, &mut iface, &mut trace);
+        let events = trace.events();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].0.seq < w[1].0.seq);
+            assert!(w[0].0.nanos <= w[1].0.nanos);
+        }
+    }
+
+    #[test]
+    fn exhausted_source_ends_the_session_without_budget_event() {
+        struct EmptySource;
+        impl QuerySource for EmptySource {
+            fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
+                None
+            }
+            fn observe(&mut self, _k: &[String], _p: &SearchPage, _kk: usize) -> Observation {
+                unreachable!("no query was ever issued")
+            }
+        }
+        let db = tiny_db();
+        let mut iface = Metered::new(&db, None);
+        let report =
+            CrawlSession::new(10).run(&mut EmptySource, &mut iface, &mut NullObserver);
+        assert_eq!(report.queries_issued(), 0);
+        assert_eq!(report.events.budget_exhausted, 0);
+    }
+}

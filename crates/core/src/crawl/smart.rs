@@ -1,13 +1,18 @@
-//! SmartCrawl and IdealCrawl drivers (paper §3, Algorithms 1–4).
+//! SmartCrawl and IdealCrawl entry points (paper §3, Algorithms 1–4).
+//!
+//! Both are thin wrappers: they assemble a selection [`Engine`], wrap it in
+//! an [`EngineSource`], and hand it to the shared [`CrawlSession`] driver.
 
 use crate::context::TextContext;
-use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
+use crate::crawl::observe::{CrawlObserver, NullObserver};
+use crate::crawl::session::{CrawlSession, EngineSource};
+use crate::crawl::CrawlReport;
 use crate::local::LocalDb;
 use crate::pool::{PoolConfig, QueryPool};
 use crate::sample::SampleIndex;
 use crate::select::engine::Engine;
 use crate::select::Strategy;
-use smartcrawl_hidden::{HiddenDb, SearchInterface};
+use smartcrawl_hidden::{HiddenDb, RetryPolicy, SearchInterface};
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::HiddenSample;
 
@@ -63,6 +68,20 @@ pub fn smart_crawl<I: SearchInterface>(
     sample: &HiddenSample,
     iface: &mut I,
     cfg: &SmartCrawlConfig,
+    ctx: TextContext,
+) -> CrawlReport {
+    smart_crawl_with(local, sample, iface, cfg, RetryPolicy::none(), &mut NullObserver, ctx)
+}
+
+/// [`smart_crawl`] with a retry policy for recoverable interface failures
+/// and an observer receiving the session's event stream.
+pub fn smart_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    sample: &HiddenSample,
+    iface: &mut I,
+    cfg: &SmartCrawlConfig,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
     mut ctx: TextContext,
 ) -> CrawlReport {
     assert!(
@@ -82,7 +101,8 @@ pub fn smart_crawl<I: SearchInterface>(
         None,
         ctx,
     );
-    drive(engine, iface, cfg.budget)
+    let mut source = EngineSource::new(engine);
+    CrawlSession::new(cfg.budget).with_retry(retry).run(&mut source, iface, observer)
 }
 
 /// Runs IdealCrawl: the same pool, but query selection uses *true*
@@ -94,6 +114,19 @@ pub fn ideal_crawl<I: SearchInterface>(
     iface: &mut I,
     oracle: &HiddenDb,
     cfg: &IdealCrawlConfig,
+    ctx: TextContext,
+) -> CrawlReport {
+    ideal_crawl_with(local, iface, oracle, cfg, RetryPolicy::none(), &mut NullObserver, ctx)
+}
+
+/// [`ideal_crawl`] with a retry policy and an observer.
+pub fn ideal_crawl_with<I: SearchInterface>(
+    local: &LocalDb,
+    iface: &mut I,
+    oracle: &HiddenDb,
+    cfg: &IdealCrawlConfig,
+    retry: RetryPolicy,
+    observer: &mut dyn CrawlObserver,
     ctx: TextContext,
 ) -> CrawlReport {
     let pool = QueryPool::generate(local, &cfg.pool);
@@ -108,43 +141,8 @@ pub fn ideal_crawl<I: SearchInterface>(
         Some(oracle),
         ctx,
     );
-    drive(engine, iface, cfg.budget)
-}
-
-/// The shared issue–observe–update loop.
-fn drive<I: SearchInterface>(
-    mut engine: Engine<'_>,
-    iface: &mut I,
-    budget: usize,
-) -> CrawlReport {
-    let mut report = CrawlReport::default();
-    let k = iface.k();
-    while report.steps.len() < budget && engine.live_count() > 0 {
-        let Some((qid, _prio)) = engine.select_next() else {
-            break; // pool exhausted
-        };
-        let keywords = engine.render(qid);
-        let Ok(page) = iface.search(&keywords) else {
-            break; // interface budget exhausted
-        };
-        let outcome = engine.process(qid, &page.records);
-        report.records_removed += outcome.removed;
-        for (local_idx, page_idx) in outcome.newly_covered {
-            report.enriched.push(EnrichedPair {
-                local: local_idx,
-                external: page.records[page_idx].external_id,
-                payload: page.records[page_idx].payload.clone(),
-                hidden_fields: page.records[page_idx].fields.clone(),
-            });
-        }
-        report.steps.push(CrawlStep {
-            keywords,
-            returned: page.records.iter().map(|r| r.external_id).collect(),
-            full_page: page.is_full(k),
-        });
-    }
-    report.selection = engine.stats;
-    report
+    let mut source = EngineSource::new(engine);
+    CrawlSession::new(cfg.budget).with_retry(retry).run(&mut source, iface, observer)
 }
 
 #[cfg(test)]
@@ -238,6 +236,50 @@ mod tests {
         assert!(ideal.covered_claimed() >= 3, "ideal covered {}", ideal.covered_claimed());
         // The oracle evaluation must not consume metered budget.
         assert_eq!(iface.queries_issued(), ideal.queries_issued());
+    }
+
+    #[test]
+    fn smart_crawl_survives_seeded_flakiness_with_retries() {
+        use crate::crawl::observe::CountingObserver;
+        use smartcrawl_hidden::FlakyInterface;
+
+        let (ctx, local, hidden) = world();
+        let sample = bernoulli_sample(&hidden, 0.4, 9);
+        let cfg = SmartCrawlConfig {
+            budget: 10,
+            strategy: Strategy::est_biased(),
+            matcher: Matcher::Exact,
+            pool: PoolConfig { min_support: 2, max_len: 2, seed: 3 },
+            omega: 1.0,
+        };
+
+        // Failure-free baseline (fresh context: TextContext is not Clone).
+        let (ctx2, local2, _) = world();
+        let mut clean_iface = Metered::new(&hidden, Some(cfg.budget));
+        let clean = smart_crawl(&local2, &sample, &mut clean_iface, &cfg, ctx2);
+
+        // Same run under 20% seeded transient failures, with retries.
+        let mut flaky_iface =
+            FlakyInterface::new(Metered::new(&hidden, Some(cfg.budget)), 0.2, 17);
+        let mut counting = CountingObserver::default();
+        let flaky = smart_crawl_with(
+            &local,
+            &sample,
+            &mut flaky_iface,
+            &cfg,
+            RetryPolicy::standard(),
+            &mut counting,
+            ctx,
+        );
+
+        // The budget is generous enough that retried queries still cover
+        // everything the clean run covers.
+        assert_eq!(clean.covered_claimed(), 4);
+        assert_eq!(flaky.covered_claimed(), clean.covered_claimed());
+        assert!(counting.counts.retries > 0, "20% flakiness must trigger retries");
+        assert_eq!(counting.counts.retries, flaky.events.retries);
+        // Served queries agree with the meter even under fault injection.
+        assert_eq!(flaky.queries_issued(), flaky_iface.queries_issued());
     }
 
     #[test]

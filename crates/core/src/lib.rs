@@ -84,7 +84,10 @@ pub mod select;
 mod fixture;
 
 pub use context::TextContext;
-pub use crawl::{CrawlReport, CrawlStep};
+pub use crawl::{
+    CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, CrawlStep,
+    EventCounts, EventStamp, NullObserver, PhaseTimings, QuerySource, TraceLog,
+};
 pub use estimate::{Estimator, EstimatorKind};
 pub use local::{LocalDb, LocalMatchIndex};
 pub use nch::fisher_nch_mean;

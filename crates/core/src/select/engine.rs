@@ -198,6 +198,14 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Returns a popped query to the pool at its current priority — used
+    /// when the query could not be served (e.g. dropped after exhausting
+    /// its retries) so a later selection can still try it.
+    pub(crate) fn requeue(&mut self, qid: QueryId) {
+        let prio = self.priority(qid);
+        self.queue.push(qid, prio);
+    }
+
     /// Current priority of a query under the engine's strategy.
     fn priority(&mut self, qid: QueryId) -> f64 {
         let i = qid.index();

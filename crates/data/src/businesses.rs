@@ -93,6 +93,13 @@ impl BusinessGen {
     }
 }
 
+/// Extracts the leading street number of an address ("482 Camelback Rd" →
+/// 482). Returns `None` for empty, all-whitespace, or numberless
+/// addresses instead of panicking on a missing first token.
+pub fn street_number(address: &str) -> Option<u32> {
+    address.split_whitespace().next()?.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,8 +111,17 @@ mod tests {
         assert_eq!(e.fields.len(), 3);
         assert!(AZ_CITIES.contains(&e.fields[2].as_str()));
         // Address starts with a street number.
-        let number: String = e.fields[1].split(' ').next().unwrap().to_owned();
-        assert!(number.parse::<u32>().is_ok(), "address {:?}", e.fields[1]);
+        let number = street_number(&e.fields[1]);
+        assert!(number.is_some_and(|n| (100..=9999).contains(&n)), "address {:?}", e.fields[1]);
+    }
+
+    #[test]
+    fn street_number_is_total_over_malformed_addresses() {
+        assert_eq!(street_number("482 Camelback Rd"), Some(482));
+        assert_eq!(street_number("  482 Camelback Rd"), Some(482));
+        assert_eq!(street_number(""), None);
+        assert_eq!(street_number("   "), None);
+        assert_eq!(street_number("Camelback Rd"), None);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Deterministic fault injection for search interfaces.
+//!
+//! Real hidden-database APIs fail: Yelp throttles past its daily quota,
+//! backends drop connections, load balancers return 5xx. A crawler that
+//! cannot survive a transient failure wastes whatever budget it already
+//! spent. [`FlakyInterface`] wraps any [`SearchInterface`] and injects
+//! [`SearchError::Transient`] / [`SearchError::RateLimited`] failures from
+//! a seeded generator, so robustness ablations are reproducible and every
+//! crawler can be tested under the same failure trace.
+//!
+//! Failures are injected *before* the inner interface is consulted: a
+//! failed attempt neither consumes the inner [`Metered`](crate::Metered)
+//! budget nor appears in its audit log — exactly like a request that never
+//! reached the backend.
+
+use crate::interface::{SearchError, SearchInterface, SearchPage};
+
+/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Good enough for
+/// fault injection; deliberately not `rand` so this crate stays leaf-level.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded fault-injection wrapper: each call fails with the configured
+/// probability (as [`SearchError::Transient`]), and optionally every `n`-th
+/// *served* call is throttled (as [`SearchError::RateLimited`]).
+#[derive(Debug)]
+pub struct FlakyInterface<I> {
+    inner: I,
+    transient_rate: f64,
+    rate_limit_every: Option<usize>,
+    state: u64,
+    served: usize,
+    transient_failures: usize,
+    rate_limit_failures: usize,
+}
+
+impl<I: SearchInterface> FlakyInterface<I> {
+    /// Wraps `inner`; each search fails transiently with probability
+    /// `transient_rate` (clamped to `[0, 1]`), deterministically per seed.
+    pub fn new(inner: I, transient_rate: f64, seed: u64) -> Self {
+        Self {
+            inner,
+            transient_rate: transient_rate.clamp(0.0, 1.0),
+            rate_limit_every: None,
+            // Avoid the all-zeros weak state without perturbing other seeds.
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+            served: 0,
+            transient_failures: 0,
+            rate_limit_failures: 0,
+        }
+    }
+
+    /// Additionally throttle every `n`-th otherwise-served call with
+    /// [`SearchError::RateLimited`] (`n ≥ 1`).
+    pub fn with_rate_limit_every(mut self, n: usize) -> Self {
+        assert!(n >= 1, "rate-limit period must be at least 1");
+        self.rate_limit_every = Some(n);
+        self
+    }
+
+    /// Number of injected transient failures so far.
+    pub fn transient_failures(&self) -> usize {
+        self.transient_failures
+    }
+
+    /// Number of injected rate-limit failures so far.
+    pub fn rate_limit_failures(&self) -> usize {
+        self.rate_limit_failures
+    }
+
+    /// Total injected failures of both kinds.
+    pub fn failures_injected(&self) -> usize {
+        self.transient_failures + self.rate_limit_failures
+    }
+
+    /// Shared access to the wrapped interface (e.g. to read a
+    /// [`Metered`](crate::Metered) audit log after the crawl).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Unwraps the inner interface.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+        let draw = splitmix64(&mut self.state) as f64 / u64::MAX as f64;
+        if draw < self.transient_rate {
+            self.transient_failures += 1;
+            return Err(SearchError::Transient);
+        }
+        if let Some(n) = self.rate_limit_every {
+            if (self.served + 1) % n == 0 {
+                self.served += 1;
+                self.rate_limit_failures += 1;
+                return Err(SearchError::RateLimited);
+            }
+        }
+        self.served += 1;
+        self.inner.search(keywords)
+    }
+
+    fn queries_issued(&self) -> usize {
+        // Injected failures never reached the backend, so they are not
+        // issued queries; delegate to the wrapped meter.
+        self.inner.queries_issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{HiddenDb, HiddenDbBuilder};
+    use crate::interface::Metered;
+    use crate::record::HiddenRecord;
+    use smartcrawl_text::Record;
+
+    fn tiny_db() -> HiddenDb {
+        HiddenDbBuilder::new()
+            .k(2)
+            .records([
+                HiddenRecord::new(0, Record::from(["thai house"]), vec![], 1.0),
+                HiddenRecord::new(1, Record::from(["steak house"]), vec![], 2.0),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let db = tiny_db();
+        let mut f = FlakyInterface::new(&db, 0.0, 7);
+        for _ in 0..50 {
+            assert!(f.search(&["house".into()]).is_ok());
+        }
+        assert_eq!(f.failures_injected(), 0);
+    }
+
+    #[test]
+    fn unit_rate_always_fails_transiently() {
+        let db = tiny_db();
+        let mut f = FlakyInterface::new(&db, 1.0, 7);
+        for _ in 0..10 {
+            assert_eq!(f.search(&["house".into()]), Err(SearchError::Transient));
+        }
+        assert_eq!(f.transient_failures(), 10);
+    }
+
+    #[test]
+    fn failure_trace_is_deterministic_per_seed() {
+        let db = tiny_db();
+        let trace = |seed: u64| -> Vec<bool> {
+            let mut f = FlakyInterface::new(&db, 0.3, seed);
+            (0..40).map(|_| f.search(&["house".into()]).is_ok()).collect()
+        };
+        assert_eq!(trace(3), trace(3));
+        assert_ne!(trace(3), trace(4), "different seeds give different traces");
+        let failures = trace(3).iter().filter(|ok| !**ok).count();
+        assert!((4..=20).contains(&failures), "≈30% of 40: got {failures}");
+    }
+
+    #[test]
+    fn failed_attempts_do_not_consume_metered_budget() {
+        let db = tiny_db();
+        let mut f = FlakyInterface::new(Metered::new(&db, Some(5)), 0.5, 11);
+        let mut ok = 0;
+        for _ in 0..20 {
+            if f.search(&["house".into()]).is_ok() {
+                ok += 1;
+            }
+        }
+        // Only served calls count against the wrapped meter.
+        assert_eq!(f.queries_issued(), ok);
+        assert!(f.queries_issued() <= 5);
+        assert!(f.failures_injected() > 0);
+    }
+
+    #[test]
+    fn rate_limit_every_throttles_periodically() {
+        let db = tiny_db();
+        let mut f = FlakyInterface::new(&db, 0.0, 0).with_rate_limit_every(3);
+        let results: Vec<bool> =
+            (0..9).map(|_| f.search(&["house".into()]).is_ok()).collect();
+        assert_eq!(results, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(f.rate_limit_failures(), 3);
+    }
+}

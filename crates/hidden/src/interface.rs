@@ -27,21 +27,84 @@ impl SearchPage {
 }
 
 /// Errors surfaced by a search interface.
+///
+/// Real keyword APIs fail in two recoverable ways on top of the hard
+/// budget cap: transient backend errors (5xx, dropped connections) and
+/// throttling (429). Crawlers may retry both under a [`RetryPolicy`];
+/// [`BudgetExhausted`](SearchError::BudgetExhausted) is terminal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchError {
     /// The query budget (rate limit) is exhausted; the call was not served.
     BudgetExhausted,
+    /// A transient backend failure; the call was not served and may be
+    /// retried immediately.
+    Transient,
+    /// The interface throttled the call (HTTP 429 semantics); it may be
+    /// retried after backing off.
+    RateLimited,
+}
+
+impl SearchError {
+    /// Whether a retry can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SearchError::Transient | SearchError::RateLimited)
+    }
 }
 
 impl std::fmt::Display for SearchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SearchError::BudgetExhausted => write!(f, "query budget exhausted"),
+            SearchError::Transient => write!(f, "transient interface failure"),
+            SearchError::RateLimited => write!(f, "interface rate limit hit"),
         }
     }
 }
 
 impl std::error::Error for SearchError {}
+
+/// Bounded-retry policy for recoverable [`SearchError`]s, with simulated
+/// exponential backoff. The backoff is *simulated* (a virtual-time delay in
+/// ticks, not a sleep) so experiments stay fast and deterministic; drivers
+/// account the wait in their reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per query after the initial attempt (0 = fail fast).
+    pub max_retries: usize,
+    /// Simulated backoff before retry `n` (1-based): `base_backoff << (n-1)`
+    /// ticks, capped at [`RetryPolicy::max_backoff`].
+    pub base_backoff: u64,
+    /// Upper bound on a single simulated backoff wait.
+    pub max_backoff: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every recoverable error is treated as final.
+    pub fn none() -> Self {
+        Self { max_retries: 0, base_backoff: 0, max_backoff: 0 }
+    }
+
+    /// A sensible default for fault-injection runs: 3 retries, exponential
+    /// backoff starting at 100 ticks, capped at 2 000.
+    pub fn standard() -> Self {
+        Self { max_retries: 3, base_backoff: 100, max_backoff: 2_000 }
+    }
+
+    /// Simulated backoff (ticks) before the `attempt`-th retry (1-based).
+    pub fn backoff(&self, attempt: usize) -> u64 {
+        if self.base_backoff == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(32) as u32;
+        self.base_backoff.saturating_mul(1u64 << shift).min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// The only capability a crawler has against a hidden database.
 pub trait SearchInterface {
@@ -74,8 +137,12 @@ impl SearchInterface for &HiddenDb {
 pub struct QueryLogEntry {
     /// The issued keywords.
     pub keywords: Vec<String>,
-    /// How many records came back.
+    /// How many records came back (0 for unserved attempts).
     pub results: usize,
+    /// Whether the call was actually served. Rejected (budget-exhausted)
+    /// and upstream-failed attempts are logged with `served: false`, so
+    /// the audit log accounts for every attempt, not just the successes.
+    pub served: bool,
 }
 
 /// Budget-enforcing, logging wrapper around any [`SearchInterface`].
@@ -125,15 +192,26 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
     fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
         if let Some(limit) = self.limit {
             if self.used >= limit {
+                if self.keep_log {
+                    self.log.push(QueryLogEntry {
+                        keywords: keywords.to_vec(),
+                        results: 0,
+                        served: false,
+                    });
+                }
                 return Err(SearchError::BudgetExhausted);
             }
         }
         self.used += 1;
-        let page = self.inner.search(keywords)?;
+        let result = self.inner.search(keywords);
         if self.keep_log {
-            self.log.push(QueryLogEntry { keywords: keywords.to_vec(), results: page.records.len() });
+            self.log.push(QueryLogEntry {
+                keywords: keywords.to_vec(),
+                results: result.as_ref().map(|p| p.records.len()).unwrap_or(0),
+                served: result.is_ok(),
+            });
         }
-        Ok(page)
+        result
     }
 
     fn queries_issued(&self) -> usize {
@@ -190,6 +268,41 @@ mod tests {
         assert_eq!(m.log().len(), 1);
         assert_eq!(m.log()[0].keywords, vec!["house".to_string()]);
         assert_eq!(m.log()[0].results, 2); // k=2 truncation
+        assert!(m.log()[0].served);
+    }
+
+    #[test]
+    fn log_accounts_for_rejected_calls() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, Some(1)).with_log();
+        assert!(m.search(&["thai".into()]).is_ok());
+        assert_eq!(m.search(&["steak".into()]), Err(SearchError::BudgetExhausted));
+        assert_eq!(m.search(&["noodle".into()]), Err(SearchError::BudgetExhausted));
+        // Every attempt is logged; only the first was served.
+        assert_eq!(m.log().len(), 3);
+        assert!(m.log()[0].served);
+        assert!(!m.log()[1].served);
+        assert_eq!(m.log()[1].results, 0);
+        assert!(!m.log()[2].served);
+        // Rejected calls still do not consume budget.
+        assert_eq!(m.queries_issued(), 1);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy { max_retries: 5, base_backoff: 100, max_backoff: 450 };
+        assert_eq!(p.backoff(1), 100);
+        assert_eq!(p.backoff(2), 200);
+        assert_eq!(p.backoff(3), 400);
+        assert_eq!(p.backoff(4), 450); // capped
+        assert_eq!(RetryPolicy::none().backoff(1), 0);
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(SearchError::Transient.is_retryable());
+        assert!(SearchError::RateLimited.is_retryable());
+        assert!(!SearchError::BudgetExhausted.is_retryable());
     }
 
     #[test]

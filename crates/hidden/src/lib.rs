@@ -18,18 +18,26 @@
 //!   [`Metered`] wrapper that enforces the query budget and keeps an audit
 //!   log (Yelp's 25 000-requests/day limit is what makes DeepEnrich a
 //!   budgeted problem in the first place).
+//! * [`FlakyInterface`] — deterministic, seeded fault injection
+//!   ([`SearchError::Transient`] / [`SearchError::RateLimited`]) so every
+//!   crawler can be ablated under the same failure trace, and
+//!   [`RetryPolicy`] — the bounded-retry/backoff contract drivers honor.
 //!
 //! Query processing is deterministic: re-issuing a query yields the same
 //! page (the paper assumes deterministic query processing).
 
 pub mod engine;
+pub mod flaky;
 pub mod form;
 pub mod interface;
 pub mod ranking;
 pub mod record;
 
 pub use engine::{HiddenDb, HiddenDbBuilder, SearchMode};
+pub use flaky::FlakyInterface;
 pub use form::FormEncoder;
-pub use interface::{Metered, QueryLogEntry, SearchError, SearchInterface, SearchPage};
+pub use interface::{
+    Metered, QueryLogEntry, RetryPolicy, SearchError, SearchInterface, SearchPage,
+};
 pub use ranking::Ranking;
 pub use record::{ExternalId, HiddenRecord, Retrieved};

@@ -36,12 +36,18 @@ pub use smartcrawl_text as text;
 // The most common entry points, flattened for convenience.
 pub use smartcrawl_core::{
     crawl::{
-        full_crawl, ideal_crawl, naive_crawl, online_smart_crawl, populate_crawl, smart_crawl,
-        suggest_corrections, Correction, CrawlReport, IdealCrawlConfig, OnlineCrawlConfig,
-        PopulateConfig, PopulateOutcome, SmartCrawlConfig,
+        full_crawl, full_crawl_with, ideal_crawl, ideal_crawl_with, naive_crawl,
+        naive_crawl_with, online_smart_crawl, online_smart_crawl_with, populate_crawl,
+        populate_crawl_with, smart_crawl, smart_crawl_with, suggest_corrections, Correction,
+        CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, EventCounts,
+        EventStamp, IdealCrawlConfig, NullObserver, OnlineCrawlConfig, PhaseTimings,
+        PopulateConfig, PopulateOutcome, QuerySource, SmartCrawlConfig, TraceLog,
     },
     Estimator, EstimatorKind, LocalDb, PoolConfig, QueryPool, Strategy, TextContext,
 };
-pub use smartcrawl_hidden::{HiddenDb, HiddenDbBuilder, HiddenRecord, Metered, SearchInterface};
+pub use smartcrawl_hidden::{
+    FlakyInterface, HiddenDb, HiddenDbBuilder, HiddenRecord, Metered, RetryPolicy,
+    SearchInterface,
+};
 pub use smartcrawl_match::Matcher;
 pub use smartcrawl_sampler::{bernoulli_sample, pool_sample, HiddenSample, PoolSamplerConfig};

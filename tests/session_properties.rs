@@ -1,0 +1,178 @@
+//! Cross-crate property test: every crawling approach, routed through the
+//! shared `CrawlSession` driver, respects the metered interface budget
+//! *exactly* — the meter's served-query count always equals the report's
+//! step count and never exceeds the budget. The invariant must also hold
+//! under seeded transient failures with retries, where failed attempts
+//! burn session budget without ever reaching the meter.
+
+use deeper::data::{Scenario, ScenarioConfig};
+use deeper::{
+    bernoulli_sample, full_crawl_with, ideal_crawl_with, naive_crawl_with,
+    online_smart_crawl_with, populate_crawl_with, smart_crawl_with, CrawlReport, FlakyInterface,
+    HiddenSample, IdealCrawlConfig, LocalDb, Matcher, Metered, NullObserver, OnlineCrawlConfig,
+    PoolConfig, PopulateConfig, RetryPolicy, SearchInterface, SmartCrawlConfig, Strategy,
+    TextContext,
+};
+use proptest::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.hidden_size = 300;
+    cfg.local_size = 40;
+    cfg.delta_d = 4;
+    cfg.k = 5;
+    Scenario::build(cfg)
+}
+
+/// Runs one approach against a fresh interface and returns the pair to
+/// check: (served queries according to the meter, the crawl report).
+fn run_approach<I: SearchInterface>(
+    which: usize,
+    s: &Scenario,
+    budget: usize,
+    seed: u64,
+    iface: &mut I,
+    retry: RetryPolicy,
+) -> CrawlReport {
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(s.local.clone(), &mut ctx);
+    let sample = bernoulli_sample(&s.hidden, 0.1, seed);
+    let empty = HiddenSample { records: vec![], theta: 0.0 };
+    let obs = &mut NullObserver;
+    match which {
+        0 => smart_crawl_with(
+            &local,
+            &sample,
+            iface,
+            &SmartCrawlConfig {
+                budget,
+                strategy: Strategy::est_biased(),
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+                omega: 1.0,
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        1 => smart_crawl_with(
+            &local,
+            &empty,
+            iface,
+            &SmartCrawlConfig {
+                budget,
+                strategy: Strategy::Simple,
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+                omega: 1.0,
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        2 => ideal_crawl_with(
+            &local,
+            iface,
+            &s.hidden,
+            &IdealCrawlConfig {
+                budget,
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        3 => naive_crawl_with(&local, iface, budget, Matcher::Exact, seed, retry, obs, ctx),
+        4 => full_crawl_with(&local, &sample, iface, budget, Matcher::Exact, retry, obs, ctx),
+        5 => online_smart_crawl_with(
+            &local,
+            iface,
+            &OnlineCrawlConfig { budget, seed, ..Default::default() },
+            retry,
+            obs,
+            ctx,
+        ),
+        _ => {
+            populate_crawl_with(
+                &local,
+                &sample,
+                iface,
+                &PopulateConfig { budget, pool: PoolConfig::default() },
+                retry,
+                obs,
+                ctx,
+            )
+            .report
+        }
+    }
+}
+
+const APPROACHES: [&str; 7] =
+    ["smart-b", "simple", "ideal", "naive", "full", "online", "populate"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Clean interface: meter count == report count ≤ budget, for every
+    /// approach.
+    #[test]
+    fn every_approach_respects_the_metered_budget_exactly(
+        seed in 0u64..500,
+        budget in 1usize..25,
+    ) {
+        let s = scenario(seed);
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let mut iface = Metered::new(&s.hidden, Some(budget));
+            let report =
+                run_approach(which, &s, budget, seed, &mut iface, RetryPolicy::none());
+            prop_assert_eq!(
+                iface.queries_issued(),
+                report.queries_issued(),
+                "{}: meter disagrees with report", name
+            );
+            prop_assert!(
+                report.queries_issued() <= budget,
+                "{}: {} served > budget {}", name, report.queries_issued(), budget
+            );
+            prop_assert_eq!(
+                report.events.queries_issued,
+                report.queries_issued(),
+                "{}: observer event count disagrees", name
+            );
+        }
+    }
+
+    /// Flaky interface: injected failures never reach the meter, retries
+    /// are bounded, and the invariant still holds. Failed attempts burn
+    /// session budget, so served ≤ budget stays strict.
+    #[test]
+    fn budget_invariant_holds_under_seeded_flakiness(
+        seed in 0u64..500,
+        budget in 1usize..25,
+    ) {
+        let s = scenario(seed);
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let mut iface = FlakyInterface::new(
+                Metered::new(&s.hidden, Some(budget)),
+                0.2,
+                seed ^ 0xBEEF,
+            );
+            let report = run_approach(
+                which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
+            );
+            prop_assert_eq!(
+                iface.queries_issued(),
+                report.queries_issued(),
+                "{}: meter disagrees with report under flakiness", name
+            );
+            // Every retry corresponds to a failed attempt charged against
+            // the session budget, so served + retries can never exceed it.
+            prop_assert!(
+                report.queries_issued() + report.events.retries <= budget,
+                "{}: served {} + retries {} exceed budget {}",
+                name, report.queries_issued(), report.events.retries, budget
+            );
+        }
+    }
+}
