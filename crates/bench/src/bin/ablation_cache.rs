@@ -1,0 +1,181 @@
+//! Ablation: the query-result cache (no paper counterpart — the paper
+//! assumes every query is answered fresh; real crawls repeat work across
+//! runs, seeds, and restarts).
+//!
+//! Three passes over the same sweep (SmartCrawl-B and NaiveCrawl, two
+//! seeds each):
+//!
+//! 1. **cold** — a single shared [`QueryCache`] starts empty and fills up
+//!    while the sweep runs; overlapping queries across approaches/seeds
+//!    already hit.
+//! 2. **warm** — the cache is saved to disk and re-loaded (exercising the
+//!    persistence round-trip), then the identical sweep replays. Every
+//!    lookup must hit: zero queries reach the hidden interface.
+//! 3. **warm+flaky** — the warm sweep again, but behind an interface that
+//!    injects 20% transient failures. Hits bypass the interface entirely,
+//!    so the fault injector never fires and coverage is unchanged.
+//!
+//! The bin asserts the warm passes are fully served from cache and that
+//! their coverage curves are identical to the cold pass, then writes
+//! per-run rows (hit rate, queries saved, wall-clock) to
+//! `results/ablation_cache.csv`.
+
+use smartcrawl_bench::experiments::{checkpoints, scale_from_args, scaled};
+use smartcrawl_bench::harness::{
+    run_approach_cached, run_approach_cached_flaky, Approach, RunOutcome, RunSpec,
+};
+use smartcrawl_bench::table::{print_cache_stats, print_curves};
+use smartcrawl_cache::{load_cache, save_cache, CachePolicy, QueryCache};
+use smartcrawl_core::CrawlReport;
+use smartcrawl_data::{Scenario, ScenarioConfig};
+use smartcrawl_hidden::RetryPolicy;
+use std::io::Write;
+use std::time::Instant;
+
+const SEEDS: [u64; 2] = [7, 8];
+const FLAKY_RATE: f64 = 0.2;
+
+struct Row {
+    pass: &'static str,
+    label: String,
+    wall_ms: f64,
+    outcome: RunOutcome,
+}
+
+fn sweep(
+    pass: &'static str,
+    cache: &mut QueryCache,
+    scenario: &Scenario,
+    budget: usize,
+    cks: &[usize],
+    flaky: bool,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for approach in [Approach::SmartB, Approach::Naive] {
+        for seed in SEEDS {
+            let mut spec = RunSpec::new(approach, budget);
+            spec.checkpoints = cks.to_vec();
+            spec.seed = seed;
+            let start = Instant::now();
+            let outcome = if flaky {
+                run_approach_cached_flaky(
+                    scenario,
+                    &spec,
+                    cache,
+                    FLAKY_RATE,
+                    RetryPolicy::standard(),
+                )
+            } else {
+                run_approach_cached(scenario, &spec, cache)
+            };
+            rows.push(Row {
+                pass,
+                label: format!("{}/s{}", approach.label(), seed),
+                wall_ms: start.elapsed().as_secs_f64() * 1.0e3,
+                outcome,
+            });
+        }
+    }
+    rows
+}
+
+fn write_rows(path: &str, rows: &[Row]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "pass,approach,coverage,steps,inner_queries,hits,misses,hit_rate,\
+         insertions,evictions,queries_saved,wall_ms"
+    )?;
+    for row in rows {
+        let report = &row.outcome.report;
+        let stats = report.cache.unwrap_or_default();
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{:.3},{},{},{},{:.3}",
+            row.pass,
+            row.label,
+            row.outcome.curve.covered.last().copied().unwrap_or(0),
+            report.steps.len(),
+            stats.misses,
+            stats.hits,
+            stats.misses,
+            stats.hit_rate(),
+            stats.insertions,
+            stats.evictions,
+            stats.hits,
+            row.wall_ms,
+        )?;
+    }
+    Ok(())
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut cfg = ScenarioConfig::paper_default();
+    cfg.hidden_size = scaled(50_000, scale);
+    cfg.local_size = scaled(5_000, scale);
+    let scenario = Scenario::build(cfg);
+    let budget = scaled(1_000, scale);
+    let cks = checkpoints(budget);
+
+    // Cold pass: one shared store across approaches and seeds.
+    let mut cache = QueryCache::new(CachePolicy::default());
+    let mut rows = sweep("cold", &mut cache, &scenario, budget, &cks, false);
+
+    // Persist, then warm-start a fresh store from disk.
+    let store_path = "results/ablation_cache.store";
+    std::fs::create_dir_all("results").expect("create results dir");
+    save_cache(store_path, &cache).expect("save cache store");
+    let mut warm =
+        load_cache(store_path, CachePolicy::default()).expect("load cache store");
+    println!(
+        "cache store: {} entries saved to {store_path} and re-loaded",
+        warm.len()
+    );
+
+    rows.extend(sweep("warm", &mut warm, &scenario, budget, &cks, false));
+    rows.extend(sweep("warm+flaky", &mut warm, &scenario, budget, &cks, true));
+
+    // The warm sweeps must be fully served from cache and reproduce the
+    // cold coverage exactly.
+    for (cold, later) in rows[..rows.len() / 3].iter().zip(&rows[rows.len() / 3..]) {
+        let stats = later.outcome.report.cache.expect("cached run reports stats");
+        assert_eq!(
+            stats.misses, 0,
+            "{} {} reached the hidden interface",
+            later.pass, later.label
+        );
+        assert_eq!(
+            cold.outcome.curve.covered,
+            later.outcome.curve.covered,
+            "{} {} diverged from the cold pass",
+            later.pass,
+            later.label
+        );
+    }
+    let warm_rows = &rows[rows.len() / 3..];
+    println!(
+        "warm passes: {} runs, 0 inner queries, hit rate 100.0% — cold coverage reproduced",
+        warm_rows.len()
+    );
+
+    let mut curves = Vec::new();
+    for row in &rows[..rows.len() / 3] {
+        let mut curve = row.outcome.curve.clone();
+        curve.label = row.label.clone();
+        curves.push(curve);
+    }
+    print_curves("Ablation: query-result cache — cold-pass coverage", &curves);
+    let stat_rows: Vec<(String, &CrawlReport)> = rows
+        .iter()
+        .map(|row| (format!("{}:{}", row.pass, row.label), &row.outcome.report))
+        .collect();
+    print_cache_stats(
+        "Cache activity per run (shared store; warm passes replay from disk)",
+        &stat_rows,
+    );
+
+    write_rows("results/ablation_cache.csv", &rows).expect("write csv");
+    println!("\nwrote results/ablation_cache.csv");
+}

@@ -8,6 +8,7 @@ use smartcrawl_core::crawl::{
     CrawlReport, IdealCrawlConfig, NullObserver, SmartCrawlConfig,
 };
 use smartcrawl_core::{DeltaRemoval, LocalDb, PoolConfig, Strategy, TextContext};
+use smartcrawl_cache::{CachedInterface, QueryCache};
 use smartcrawl_data::Scenario;
 use smartcrawl_hidden::{FlakyInterface, Metered, RetryPolicy, SearchInterface};
 use smartcrawl_match::Matcher;
@@ -139,6 +140,47 @@ pub fn run_approach_flaky(
         Metered::new(&scenario.hidden, Some(spec.budget)),
         failure_rate,
         spec.seed ^ 0xF1A4,
+    );
+    let report = dispatch(scenario, spec, &mut iface, retry, &mut NullObserver);
+    outcome(scenario, spec, report)
+}
+
+/// Runs `spec` with a query-result cache between the crawler and the
+/// metered interface. The store is borrowed so sweeps can share one cache
+/// across approaches, seeds, and repeats (the warm-start case); pass a
+/// fresh `QueryCache` for a cold run. Budget semantics follow the store's
+/// [`CachePolicy`](smartcrawl_cache::CachePolicy): hits are free unless
+/// `charged_hits` is set.
+pub fn run_approach_cached(
+    scenario: &Scenario,
+    spec: &RunSpec,
+    cache: &mut QueryCache,
+) -> RunOutcome {
+    let mut iface =
+        CachedInterface::new(cache, Metered::new(&scenario.hidden, Some(spec.budget)));
+    let report =
+        dispatch(scenario, spec, &mut iface, RetryPolicy::none(), &mut NullObserver);
+    outcome(scenario, spec, report)
+}
+
+/// [`run_approach_cached`] under seeded fault injection: the cache wraps
+/// the flaky interface, so hits bypass injected failures entirely while
+/// misses face them (and retry under `retry`) exactly as in
+/// [`run_approach_flaky`].
+pub fn run_approach_cached_flaky(
+    scenario: &Scenario,
+    spec: &RunSpec,
+    cache: &mut QueryCache,
+    failure_rate: f64,
+    retry: RetryPolicy,
+) -> RunOutcome {
+    let mut iface = CachedInterface::new(
+        cache,
+        FlakyInterface::new(
+            Metered::new(&scenario.hidden, Some(spec.budget)),
+            failure_rate,
+            spec.seed ^ 0xF1A4,
+        ),
     );
     let report = dispatch(scenario, spec, &mut iface, retry, &mut NullObserver);
     outcome(scenario, spec, report)

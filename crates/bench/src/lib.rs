@@ -20,5 +20,6 @@ pub mod table;
 
 pub use eval::{coverage_curve, enrichment_precision, recall, Curve};
 pub use harness::{
-    run_approach, run_approach_flaky, run_approach_report, Approach, RunOutcome, RunSpec,
+    run_approach, run_approach_cached, run_approach_cached_flaky, run_approach_flaky,
+    run_approach_report, Approach, RunOutcome, RunSpec,
 };

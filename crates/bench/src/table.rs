@@ -85,6 +85,40 @@ pub fn print_report_phases(title: &str, rows: &[(String, &CrawlReport)]) {
     }
 }
 
+/// Renders one row of the cache statistics table (without the label
+/// column). Split out so tests can assert the exact shape.
+fn cache_row(report: &CrawlReport) -> String {
+    match report.cache {
+        Some(stats) => format!(
+            "{:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8}",
+            stats.hits,
+            stats.negative_hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.insertions,
+            stats.evictions,
+        ),
+        None => format!(
+            "{:>8} {:>8} {:>8} {:>10} {:>8} {:>8}",
+            "-", "-", "-", "-", "-", "-"
+        ),
+    }
+}
+
+/// Prints the query-result cache section of labeled crawl reports: hits
+/// (and how many of those were cached empty pages), misses, hit rate,
+/// insertions, and evictions. Reports from uncached runs render as `-`.
+pub fn print_cache_stats(title: &str, rows: &[(String, &CrawlReport)]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:>18} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}",
+        "approach", "hits", "neg", "misses", "hit_rate", "inserts", "evicts"
+    );
+    for (label, report) in rows {
+        println!("{label:>18} {}", cache_row(report));
+    }
+}
+
 /// Writes curves as CSV: `budget,<label1>,<label2>,…`.
 pub fn write_csv(path: impl AsRef<Path>, curves: &[Curve]) -> std::io::Result<()> {
     let path = path.as_ref();

@@ -1,0 +1,39 @@
+//! Query-result caching between crawl drivers and the hidden interface.
+//!
+//! Parameter sweeps and multi-seed bench runs re-issue thousands of
+//! identical keyword queries against the same (deterministic) hidden
+//! database; real deployments face the mirror image, an API-side cache in
+//! front of the backend. The paper's reuse argument for samples (§5.1: a
+//! sample "only needs to be created once and can be reused") extends to
+//! query results, and the hidden-database crawling literature treats
+//! repeated identical queries as pure waste. This crate supplies the
+//! missing layer:
+//!
+//! * [`QueryCache`] — a capacity-bounded LRU store of result pages, keyed
+//!   by the *canonical* query
+//!   ([`canonical_query_key`](smartcrawl_hidden::canonical_query_key):
+//!   case-folded, sorted, deduplicated keywords), so logically-equal
+//!   queries collide. Negative (empty) pages are cached by policy;
+//!   errors — [`Transient`](smartcrawl_hidden::SearchError::Transient),
+//!   [`RateLimited`](smartcrawl_hidden::SearchError::RateLimited) — are
+//!   never cached. Hit/miss/insert/evict counters are kept as
+//!   [`CacheStats`](smartcrawl_hidden::CacheStats).
+//! * [`CachedInterface`] — a transparent
+//!   [`SearchInterface`](smartcrawl_hidden::SearchInterface) wrapper
+//!   around any interface stack, borrowing a [`QueryCache`] so one store
+//!   can be shared across runs (sweeps, seeds). By default cache hits are
+//!   *free* — they bypass the inner [`Metered`](smartcrawl_hidden::Metered)
+//!   budget, which only ever sees misses — with an opt-in
+//!   [`charged_hits`](CachePolicy::charged_hits) mode for faithfulness
+//!   experiments where a hit must still spend quota.
+//! * [`persist`] — versioned, line-oriented, escape-safe disk format (the
+//!   same idiom as the sampler's sample persistence; no dependencies), so
+//!   sweeps warm-start across processes: [`save_cache`] / [`load_cache`].
+
+pub mod cached;
+pub mod persist;
+pub mod store;
+
+pub use cached::CachedInterface;
+pub use persist::{load_cache, save_cache};
+pub use store::{CachePolicy, QueryCache};

@@ -1,0 +1,261 @@
+//! Cache persistence: warm-start sweeps across processes.
+//!
+//! Same design as the sampler's sample persistence (paper §5.1's
+//! create-once-reuse argument, extended to query results): a line-oriented
+//! text file with a versioned magic header and tab-separated,
+//! backslash-escaped cells. No dependencies, inspectable with a pager,
+//! rejected loudly when foreign or corrupt.
+//!
+//! Layout:
+//!
+//! ```text
+//! #smartcrawl-query-cache v1
+//! entries<TAB>N
+//! <nkw> <nrec> <kw…> [<id> <nf> <np> <fields…> <payload…>]*nrec   (×N lines)
+//! ```
+//!
+//! Entries are written least-recently-used first, so loading re-inserts
+//! them in recency order and the store resumes with the exact LRU state it
+//! was saved with.
+
+use crate::store::{CachePolicy, QueryCache};
+use smartcrawl_hidden::{ExternalId, Retrieved, SearchPage};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+const MAGIC: &str = "#smartcrawl-query-cache v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                't' => out.push('\t'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+/// Writes the store to `path` (LRU-first entry order).
+pub fn save_cache(path: impl AsRef<Path>, cache: &QueryCache) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{MAGIC}")?;
+    writeln!(f, "entries\t{}", cache.len())?;
+    for (key, page) in cache.iter_lru() {
+        write!(f, "{}\t{}", key.len(), page.records.len())?;
+        for kw in key {
+            write!(f, "\t{}", escape(kw))?;
+        }
+        for r in &page.records {
+            write!(f, "\t{}\t{}\t{}", r.external_id.0, r.fields.len(), r.payload.len())?;
+            for cell in r.fields.iter().chain(&r.payload) {
+                write!(f, "\t{}", escape(cell))?;
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Reads a store previously written by [`save_cache`], applying `policy`
+/// to the loaded entries: pages beyond `capacity` evict oldest-first, and
+/// negative pages are dropped when `cache_negative` is off. Loading does
+/// not touch the cache counters — the entries were already accounted for
+/// by the run that created them.
+pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Result<QueryCache> {
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut lines = f.lines();
+    if lines.next().transpose()?.as_deref() != Some(MAGIC) {
+        return Err(bad("not a smartcrawl query-cache file"));
+    }
+    let count_line = lines.next().transpose()?.ok_or_else(|| bad("missing entry count"))?;
+    let declared: usize = count_line
+        .strip_prefix("entries\t")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad("malformed entry-count line"))?;
+    let mut cache = QueryCache::new(policy);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() < 2 {
+            return Err(bad("truncated entry line"));
+        }
+        let nkw: usize = cells[0].parse().map_err(|_| bad("bad keyword count"))?;
+        let nrec: usize = cells[1].parse().map_err(|_| bad("bad record count"))?;
+        let mut cursor = 2usize;
+        let take = |cursor: &mut usize, cells: &[&str]| -> std::io::Result<String> {
+            let cell = cells.get(*cursor).ok_or_else(|| bad("entry arity mismatch"))?;
+            *cursor += 1;
+            unescape(cell).ok_or_else(|| bad("bad escape sequence"))
+        };
+        let mut key = Vec::with_capacity(nkw);
+        for _ in 0..nkw {
+            key.push(take(&mut cursor, &cells)?);
+        }
+        let mut records = Vec::with_capacity(nrec);
+        for _ in 0..nrec {
+            let id: u64 = take(&mut cursor, &cells)?
+                .parse()
+                .map_err(|_| bad("bad external id"))?;
+            let nf: usize =
+                take(&mut cursor, &cells)?.parse().map_err(|_| bad("bad field count"))?;
+            let np: usize =
+                take(&mut cursor, &cells)?.parse().map_err(|_| bad("bad payload count"))?;
+            let mut texts = Vec::with_capacity(nf + np);
+            for _ in 0..nf + np {
+                texts.push(take(&mut cursor, &cells)?);
+            }
+            let payload = texts.split_off(nf);
+            records.push(Retrieved { external_id: ExternalId(id), fields: texts, payload });
+        }
+        if cursor != cells.len() {
+            return Err(bad("entry arity mismatch"));
+        }
+        cache.insert_untallied(key, SearchPage { records });
+        seen += 1;
+    }
+    if seen != declared {
+        return Err(bad("entry count disagrees with body"));
+    }
+    cache.reset_stats();
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("smartcrawl_cache_persist_{}_{name}", std::process::id()))
+    }
+
+    fn page(texts: &[&str]) -> SearchPage {
+        SearchPage {
+            records: texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Retrieved {
+                    external_id: ExternalId(i as u64 + 10),
+                    fields: vec![(*t).to_owned(), "tab\there".into()],
+                    payload: vec!["4.5".into()],
+                })
+                .collect(),
+        }
+    }
+
+    fn sample_store() -> QueryCache {
+        let mut c = QueryCache::default();
+        c.insert(vec!["house".into(), "thai".into()], page(&["thai house"]));
+        c.insert(vec!["back\\slash".into()], page(&["a", "b"]));
+        c.insert(vec!["empty".into()], SearchPage::default());
+        // Promote the first entry so LRU order is not insertion order.
+        c.get(&["house".to_owned(), "thai".to_owned()]);
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_pages_and_lru_order() {
+        let path = tmp("rt");
+        let orig = sample_store();
+        save_cache(&path, &orig).unwrap();
+        let loaded = load_cache(&path, CachePolicy::default()).unwrap();
+        assert_eq!(loaded.len(), orig.len());
+        let o: Vec<_> = orig.iter_lru().collect();
+        let l: Vec<_> = loaded.iter_lru().collect();
+        assert_eq!(o, l, "pages and recency order must survive the disk");
+        // Loading leaves the counters untouched.
+        assert_eq!(loaded.stats(), smartcrawl_hidden::CacheStats::default());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn double_save_is_byte_identical() {
+        let p1 = tmp("b1");
+        let p2 = tmp("b2");
+        let orig = sample_store();
+        save_cache(&p1, &orig).unwrap();
+        let loaded = load_cache(&p1, CachePolicy::default()).unwrap();
+        save_cache(&p2, &loaded).unwrap();
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_headers() {
+        let path = tmp("foreign");
+        std::fs::write(&path, "name,city\nx,y\n").unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        std::fs::write(&path, "#smartcrawl-sample v1\ntheta\t0.5\n").unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        std::fs::write(&path, format!("{MAGIC}\nnot-a-count\n")).unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_entries() {
+        let path = tmp("corrupt");
+        // Declares one record but carries none.
+        std::fs::write(&path, format!("{MAGIC}\nentries\t1\n1\t1\tthai\n")).unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        // Trailing junk cells.
+        std::fs::write(&path, format!("{MAGIC}\nentries\t1\n1\t0\tthai\textra\n")).unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        // Body shorter than the declared entry count.
+        std::fs::write(&path, format!("{MAGIC}\nentries\t2\n1\t0\tthai\n")).unwrap();
+        assert!(load_cache(&path, CachePolicy::default()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_applies_the_given_policy() {
+        let path = tmp("policy");
+        save_cache(&path, &sample_store()).unwrap();
+        let small = load_cache(
+            &path,
+            CachePolicy { capacity: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(small.len(), 2, "oldest entry evicted on load");
+        let no_neg = load_cache(
+            &path,
+            CachePolicy { cache_negative: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(no_neg.len(), 2, "negative page dropped on load");
+        assert!(no_neg.peek(&["empty".to_owned()]).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,352 @@
+//! The capacity-bounded LRU page store.
+
+use smartcrawl_hidden::{CacheStats, SearchPage};
+use std::collections::HashMap;
+
+/// What the cache keeps and what hits cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachePolicy {
+    /// Maximum number of cached pages (≥ 1). The least-recently-used entry
+    /// is evicted when the store is full.
+    pub capacity: usize,
+    /// Whether *negative* results (empty pages) are cached. Real APIs
+    /// often disable this so newly-appearing records are not masked;
+    /// against the deterministic simulator it is safe and saves the most
+    /// queries on selective workloads. Errors are never cached regardless:
+    /// [`Transient`](smartcrawl_hidden::SearchError::Transient) and
+    /// [`RateLimited`](smartcrawl_hidden::SearchError::RateLimited) say
+    /// nothing about the query's true result.
+    pub cache_negative: bool,
+    /// Whether cache hits still consume the inner interface's budget
+    /// (via [`SearchInterface::record_cache_hit`]). Off by default: a hit
+    /// never leaves the cache layer, which is the whole point. On for
+    /// faithfulness experiments where the paper's budget semantics must be
+    /// preserved exactly even with a cache in the stack.
+    ///
+    /// [`SearchInterface::record_cache_hit`]:
+    ///     smartcrawl_hidden::SearchInterface::record_cache_hit
+    pub charged_hits: bool,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        Self { capacity: 1 << 16, cache_negative: true, charged_hits: false }
+    }
+}
+
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    key: Vec<String>,
+    page: SearchPage,
+    /// Neighbor toward the MRU end.
+    prev: usize,
+    /// Neighbor toward the LRU end.
+    next: usize,
+}
+
+/// An LRU map from canonical query keys to result pages, with cache
+/// counters. The store is deliberately separate from the
+/// [`CachedInterface`](crate::CachedInterface) wrapper so one store can be
+/// shared (and keep accumulating) across many crawl runs — the sweep /
+/// multi-seed reuse case — and persisted between processes.
+#[derive(Debug)]
+pub struct QueryCache {
+    policy: CachePolicy,
+    map: HashMap<Vec<String>, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// An empty cache with the given policy.
+    pub fn new(policy: CachePolicy) -> Self {
+        assert!(policy.capacity >= 1, "cache capacity must be at least 1");
+        Self {
+            policy,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The store's policy.
+    pub fn policy(&self) -> &CachePolicy {
+        &self.policy
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime counters (shared-store runs see them keep growing; use
+    /// [`CacheStats::since`] for per-run deltas).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up a canonical key without touching counters or recency —
+    /// for inspection and for callers that must decide whether the hit is
+    /// admissible (charged-hits mode) before committing it.
+    pub fn peek(&self, key: &[String]) -> Option<&SearchPage> {
+        self.map.get(key).map(|&i| &self.slots[i].page)
+    }
+
+    /// Commits a hit previously found via [`QueryCache::peek`]: counts it
+    /// and promotes the entry to most-recently-used.
+    pub fn commit_hit(&mut self, key: &[String]) {
+        let Some(&i) = self.map.get(key) else { return };
+        self.stats.hits += 1;
+        if self.slots[i].page.records.is_empty() {
+            self.stats.negative_hits += 1;
+        }
+        self.detach(i);
+        self.push_front(i);
+    }
+
+    /// Counts a lookup that found nothing.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Counts a miss whose inner call failed (errors are never cached).
+    pub fn note_uncached_error(&mut self) {
+        self.stats.uncached_errors += 1;
+    }
+
+    /// Counting lookup: a hit promotes the entry and returns a clone of
+    /// the page; a miss is tallied and returns `None`.
+    pub fn get(&mut self, key: &[String]) -> Option<SearchPage> {
+        if self.peek(key).is_some() {
+            self.commit_hit(key);
+            Some(self.slots[self.map[key]].page.clone())
+        } else {
+            self.note_miss();
+            None
+        }
+    }
+
+    /// Stores a page under a canonical key, evicting the LRU entry if the
+    /// store is full. Empty pages are skipped (silently) unless
+    /// [`CachePolicy::cache_negative`] is set.
+    pub fn insert(&mut self, key: Vec<String>, page: SearchPage) {
+        if self.insert_untallied(key, page) {
+            self.stats.insertions += 1;
+        }
+    }
+
+    /// [`QueryCache::insert`] without counter updates — used when loading
+    /// a persisted store, whose entries were already counted by the run
+    /// that created them. Returns whether the page was admitted.
+    pub(crate) fn insert_untallied(&mut self, key: Vec<String>, page: SearchPage) -> bool {
+        if !self.policy.cache_negative && page.records.is_empty() {
+            return false;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            // Same logical query stored again (e.g. by hand): refresh.
+            self.slots[i].page = page;
+            self.detach(i);
+            self.push_front(i);
+            return true;
+        }
+        if self.map.len() >= self.policy.capacity {
+            self.evict_lru();
+        }
+        let slot = Slot { key: key.clone(), page, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+        true
+    }
+
+    /// The cached entries in least-recently-used-first order (the order
+    /// persistence writes, so a reload reconstructs recency exactly).
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&[String], &SearchPage)> {
+        std::iter::successors(
+            (self.tail != NIL).then_some(self.tail),
+            move |&i| (self.slots[i].prev != NIL).then_some(self.slots[i].prev),
+        )
+        .map(move |i| (self.slots[i].key.as_slice(), &self.slots[i].page))
+    }
+
+    /// Zeroes the counters — used after loading a persisted store, where
+    /// any evictions performed during the load are setup work, not cache
+    /// activity.
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn evict_lru(&mut self) {
+        let i = self.tail;
+        debug_assert!(i != NIL, "evict called on an empty store");
+        self.detach(i);
+        let key = std::mem::take(&mut self.slots[i].key);
+        self.slots[i].page = SearchPage::default();
+        self.map.remove(&key);
+        self.free.push(i);
+        self.stats.evictions += 1;
+    }
+
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new(CachePolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartcrawl_hidden::{ExternalId, Retrieved};
+
+    fn key(s: &str) -> Vec<String> {
+        s.split(' ').map(str::to_owned).collect()
+    }
+
+    fn page(n: usize) -> SearchPage {
+        SearchPage {
+            records: (0..n)
+                .map(|i| Retrieved {
+                    external_id: ExternalId(i as u64),
+                    fields: vec![format!("f{i}")],
+                    payload: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn get_hits_after_insert_and_counts() {
+        let mut c = QueryCache::default();
+        assert_eq!(c.get(&key("a")), None);
+        c.insert(key("a"), page(2));
+        assert_eq!(c.get(&key("a")).unwrap().records.len(), 2);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.negative_hits, 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_in_recency_order() {
+        let mut c = QueryCache::new(CachePolicy { capacity: 2, ..Default::default() });
+        c.insert(key("a"), page(1));
+        c.insert(key("b"), page(1));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(c.get(&key("a")).is_some());
+        c.insert(key("c"), page(1));
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&key("a")).is_some());
+        assert!(c.peek(&key("b")).is_none(), "LRU entry must be evicted");
+        assert!(c.peek(&key("c")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        // The freed slot is reused rather than growing the arena.
+        c.insert(key("d"), page(1));
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut c = QueryCache::new(CachePolicy { capacity: 1, ..Default::default() });
+        for i in 0..5 {
+            c.insert(key(&format!("q{i}")), page(1));
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 4);
+        assert!(c.peek(&key("q4")).is_some());
+    }
+
+    #[test]
+    fn negative_pages_respect_policy() {
+        let mut yes = QueryCache::default();
+        yes.insert(key("none"), page(0));
+        assert!(yes.get(&key("none")).is_some());
+        assert_eq!(yes.stats().negative_hits, 1);
+
+        let mut no =
+            QueryCache::new(CachePolicy { cache_negative: false, ..Default::default() });
+        no.insert(key("none"), page(0));
+        assert!(no.get(&key("none")).is_none());
+        assert_eq!(no.stats().insertions, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_without_growth() {
+        let mut c = QueryCache::default();
+        c.insert(key("a"), page(1));
+        c.insert(key("a"), page(3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&key("a")).unwrap().records.len(), 3);
+    }
+
+    #[test]
+    fn iter_lru_is_oldest_first() {
+        let mut c = QueryCache::default();
+        c.insert(key("a"), page(1));
+        c.insert(key("b"), page(1));
+        c.insert(key("c"), page(1));
+        assert!(c.get(&key("a")).is_some()); // a becomes MRU
+        let order: Vec<&[String]> = c.iter_lru().map(|(k, _)| k).collect();
+        assert_eq!(order, vec![&key("b")[..], &key("c")[..], &key("a")[..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        QueryCache::new(CachePolicy { capacity: 0, ..Default::default() });
+    }
+}

@@ -96,6 +96,11 @@ pub struct CrawlReport {
     /// The session's own event tallies (kept regardless of which
     /// [`CrawlObserver`] was installed).
     pub events: observe::EventCounts,
+    /// Query-result cache activity during this run — `None` unless a cache
+    /// layer (e.g. `smartcrawl-cache`'s `CachedInterface`) sits in the
+    /// interface stack. Always this run's *delta*, even when the cache
+    /// store is shared across runs (warm sweeps).
+    pub cache: Option<smartcrawl_hidden::CacheStats>,
 }
 
 impl CrawlReport {

@@ -56,6 +56,15 @@ pub enum CrawlEvent {
         /// 1-based retry attempt for the current query.
         attempt: usize,
     },
+    /// The page was served by a query-result cache in the interface stack
+    /// (only fired when a cache is present).
+    CacheHit {
+        /// Number of records on the cached page.
+        results: usize,
+    },
+    /// The query missed the cache and was forwarded to the inner interface
+    /// (only fired when a cache is present).
+    CacheMiss,
     /// The session stopped because a budget ran out (the session's own
     /// query budget or the interface's).
     BudgetExhausted,
@@ -92,6 +101,10 @@ pub struct EventCounts {
     pub records_removed: usize,
     /// [`CrawlEvent::RetryAttempted`] events.
     pub retries: usize,
+    /// [`CrawlEvent::CacheHit`] events (0 without a cache in the stack).
+    pub cache_hits: usize,
+    /// [`CrawlEvent::CacheMiss`] events (0 without a cache in the stack).
+    pub cache_misses: usize,
     /// [`CrawlEvent::BudgetExhausted`] events (0 or 1).
     pub budget_exhausted: usize,
 }
@@ -105,6 +118,8 @@ impl EventCounts {
             CrawlEvent::Matched { .. } => self.matched += 1,
             CrawlEvent::Removed { count } => self.records_removed += count,
             CrawlEvent::RetryAttempted { .. } => self.retries += 1,
+            CrawlEvent::CacheHit { .. } => self.cache_hits += 1,
+            CrawlEvent::CacheMiss => self.cache_misses += 1,
             CrawlEvent::BudgetExhausted => self.budget_exhausted += 1,
         }
     }
@@ -194,12 +209,16 @@ mod tests {
         c.on_event(stamp(4), &CrawlEvent::Removed { count: 3 });
         c.on_event(stamp(5), &CrawlEvent::RetryAttempted { attempt: 1 });
         c.on_event(stamp(6), &CrawlEvent::BudgetExhausted);
+        c.on_event(stamp(7), &CrawlEvent::CacheHit { results: 4 });
+        c.on_event(stamp(8), &CrawlEvent::CacheMiss);
         assert_eq!(c.counts.queries_issued, 1);
         assert_eq!(c.counts.pages_received, 1);
         assert_eq!(c.counts.matched, 2);
         assert_eq!(c.counts.records_removed, 3);
         assert_eq!(c.counts.retries, 1);
         assert_eq!(c.counts.budget_exhausted, 1);
+        assert_eq!(c.counts.cache_hits, 1);
+        assert_eq!(c.counts.cache_misses, 1);
     }
 
     #[test]

@@ -179,6 +179,10 @@ impl CrawlSession {
         let mut timing = PhaseTimings::default();
         // Transient attempts charged to the budget on top of served steps.
         let mut failed_attempts = 0usize;
+        // Counter snapshot of any query-result cache in the interface
+        // stack: per-query hit/miss events diff against it, and the report
+        // carries this run's delta even when the store is shared.
+        let cache_at_start = iface.cache_stats();
 
         'session: while report.steps.len() + failed_attempts < self.budget {
             let t = Instant::now();
@@ -191,11 +195,23 @@ impl CrawlSession {
 
             let mut attempt = 0usize;
             let page = loop {
+                let hits_before =
+                    cache_at_start.and_then(|_| iface.cache_stats()).map(|s| s.hits);
                 let t = Instant::now();
                 let result = iface.search(&keywords);
                 timing.search_ns += t.elapsed().as_nanos() as u64;
                 match result {
-                    Ok(page) => break page,
+                    Ok(page) => {
+                        if let Some(before) = hits_before {
+                            let now = iface.cache_stats().map_or(before, |s| s.hits);
+                            if now > before {
+                                ins.emit(CrawlEvent::CacheHit { results: page.records.len() });
+                            } else {
+                                ins.emit(CrawlEvent::CacheMiss);
+                            }
+                        }
+                        break page;
+                    }
                     Err(SearchError::BudgetExhausted) => {
                         ins.emit(CrawlEvent::BudgetExhausted);
                         break 'session;
@@ -248,6 +264,9 @@ impl CrawlSession {
         report.selection = source.selection_stats();
         report.timing = timing;
         report.events = ins.counts;
+        if let (Some(start), Some(end)) = (cache_at_start, iface.cache_stats()) {
+            report.cache = Some(end.since(&start));
+        }
         report
     }
 }
@@ -444,6 +463,45 @@ mod tests {
         assert_eq!(source.failed, 5, "each dropped query notifies the source");
         assert_eq!(report.events.budget_exhausted, 1);
         assert_eq!(iface.queries_issued(), 0);
+    }
+
+    #[test]
+    fn cache_in_the_stack_is_reported_and_stays_transparent() {
+        use smartcrawl_cache::{CachedInterface, QueryCache};
+        let db = tiny_db();
+        let mut cache = QueryCache::default();
+
+        let mut source = RepeatSource::new("house");
+        let mut iface = CachedInterface::new(&mut cache, Metered::new(&db, None));
+        let report = CrawlSession::new(4).run(&mut source, &mut iface, &mut NullObserver);
+        assert_eq!(report.queries_issued(), 4, "caching must not change the run");
+        assert_eq!(iface.queries_issued(), 1, "only the first query reached the meter");
+        let stats = report.cache.expect("a cache is in the stack");
+        assert_eq!((stats.hits, stats.misses), (3, 1));
+        assert_eq!(report.events.cache_hits, 3);
+        assert_eq!(report.events.cache_misses, 1);
+        drop(iface);
+
+        // A second session over the same (now warm) store reports its own
+        // delta: all hits, no misses, nothing served by the fresh meter.
+        let mut source = RepeatSource::new("house");
+        let mut iface = CachedInterface::new(&mut cache, Metered::new(&db, None));
+        let report = CrawlSession::new(4).run(&mut source, &mut iface, &mut NullObserver);
+        assert_eq!(report.queries_issued(), 4);
+        assert_eq!(iface.queries_issued(), 0, "warm cache: zero inner queries");
+        let stats = report.cache.expect("a cache is in the stack");
+        assert_eq!((stats.hits, stats.misses), (4, 0));
+    }
+
+    #[test]
+    fn no_cache_means_no_cache_section_or_events() {
+        let db = tiny_db();
+        let mut iface = Metered::new(&db, None);
+        let mut source = RepeatSource::new("house");
+        let report = CrawlSession::new(3).run(&mut source, &mut iface, &mut NullObserver);
+        assert_eq!(report.cache, None);
+        assert_eq!(report.events.cache_hits, 0);
+        assert_eq!(report.events.cache_misses, 0);
     }
 
     #[test]

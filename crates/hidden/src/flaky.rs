@@ -117,6 +117,22 @@ impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
         // issued queries; delegate to the wrapped meter.
         self.inner.queries_issued()
     }
+
+    fn cache_stats(&self) -> Option<crate::interface::CacheStats> {
+        self.inner.cache_stats()
+    }
+
+    fn record_cache_hit(
+        &mut self,
+        keywords: &[String],
+        results: usize,
+        charge: bool,
+    ) -> Result<(), SearchError> {
+        // A cache hit above this wrapper bypasses fault injection entirely
+        // (the request never goes out); pass the notification inward so a
+        // wrapped meter can audit/charge it.
+        self.inner.record_cache_hit(keywords, results, charge)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,77 @@
 use crate::engine::HiddenDb;
 use crate::record::Retrieved;
 
+/// Canonical form of a keyword query, used as the identity of a query by
+/// every layer that must agree on "the same query": the query-result cache
+/// keys its entries by it, and [`Metered`]'s audit log exposes it so
+/// duplicate-query accounting matches the cache's collisions.
+///
+/// Keywords are case-folded, sorted, and deduplicated. This can never
+/// conflate two queries the engine distinguishes: [`HiddenDb`] lowercases
+/// keywords through its tokenizer and sorts/dedups the resulting token set
+/// before matching, so queries equal under this canonicalization are served
+/// identical pages.
+pub fn canonical_query_key(keywords: &[String]) -> Vec<String> {
+    let mut key: Vec<String> = keywords.iter().map(|kw| kw.to_lowercase()).collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+/// Counters of a query-result cache sitting somewhere in an interface
+/// stack. Defined here (rather than in the cache crate) so the
+/// [`SearchInterface`] trait can surface them through any stack of
+/// wrappers and crawl drivers can report them without depending on the
+/// cache implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from the cache without consulting the inner
+    /// interface.
+    pub hits: usize,
+    /// Hits served from a cached *negative* (empty) page.
+    pub negative_hits: usize,
+    /// Queries not found in the cache (each one reached the inner
+    /// interface).
+    pub misses: usize,
+    /// Pages stored in the cache.
+    pub insertions: usize,
+    /// Entries evicted to stay within capacity.
+    pub evictions: usize,
+    /// Misses whose inner call failed — errors are never cached, so these
+    /// left no entry behind.
+    pub uncached_errors: usize,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter-wise difference `self − earlier`: the activity that happened
+    /// after `earlier` was snapshotted. Used by crawl drivers to report
+    /// per-run cache activity even when the store is shared across runs.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            negative_hits: self.negative_hits.saturating_sub(earlier.negative_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            uncached_errors: self.uncached_errors.saturating_sub(earlier.uncached_errors),
+        }
+    }
+}
+
 /// A page of results returned by one search call.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SearchPage {
@@ -116,6 +187,33 @@ pub trait SearchInterface {
 
     /// Number of queries issued so far through this interface.
     fn queries_issued(&self) -> usize;
+
+    /// Counters of the query-result cache in this interface stack, if any.
+    /// Wrappers delegate inward; a cache layer answers with its own
+    /// counters. `None` means no cache is present.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Notification from a cache layer *above* this interface that
+    /// `keywords` was just served from the cache (with `results` records)
+    /// without a [`search`](SearchInterface::search) call. When `charge`
+    /// is set (the cache's "charged hits" faithfulness mode), one query's
+    /// worth of budget must be consumed anyway; an interface out of budget
+    /// returns [`SearchError::BudgetExhausted`] and the hit is denied.
+    ///
+    /// The default is a free no-op: cache hits cost nothing and leave no
+    /// trace. [`Metered`] overrides it to audit-log the hit (and charge it
+    /// on request); pass-through wrappers delegate inward.
+    fn record_cache_hit(
+        &mut self,
+        keywords: &[String],
+        results: usize,
+        charge: bool,
+    ) -> Result<(), SearchError> {
+        let _ = (keywords, results, charge);
+        Ok(())
+    }
 }
 
 impl SearchInterface for &HiddenDb {
@@ -142,7 +240,23 @@ pub struct QueryLogEntry {
     /// Whether the call was actually served. Rejected (budget-exhausted)
     /// and upstream-failed attempts are logged with `served: false`, so
     /// the audit log accounts for every attempt, not just the successes.
+    /// `served` agrees exactly with budget consumption: an entry consumed
+    /// budget iff `served && !from_cache` (or a charged-mode cache hit).
     pub served: bool,
+    /// Whether the page came from a cache layer above this meter rather
+    /// than an issued query. Cache-served entries are logged via
+    /// [`SearchInterface::record_cache_hit`] with `served: true` and, by
+    /// default, consume no budget.
+    pub from_cache: bool,
+}
+
+impl QueryLogEntry {
+    /// The entry's canonical query key (see [`canonical_query_key`]):
+    /// entries with equal keys are duplicates of the same logical query,
+    /// exactly as a query-result cache would collide them.
+    pub fn canonical_key(&self) -> Vec<String> {
+        canonical_query_key(&self.keywords)
+    }
 }
 
 /// Budget-enforcing, logging wrapper around any [`SearchInterface`].
@@ -178,6 +292,22 @@ impl<I: SearchInterface> Metered<I> {
         &self.log
     }
 
+    /// Number of *distinct* logical queries served (by canonical key — see
+    /// [`canonical_query_key`]), cache-served entries included. The gap to
+    /// the total served count is exactly the duplicate work a query-result
+    /// cache would absorb. Requires [`Metered::with_log`].
+    pub fn distinct_served(&self) -> usize {
+        let mut keys: Vec<Vec<String>> = self
+            .log
+            .iter()
+            .filter(|e| e.served)
+            .map(|e| e.canonical_key())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
     /// Unwraps the inner interface.
     pub fn into_inner(self) -> I {
         self.inner
@@ -197,18 +327,26 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
                         keywords: keywords.to_vec(),
                         results: 0,
                         served: false,
+                        from_cache: false,
                     });
                 }
                 return Err(SearchError::BudgetExhausted);
             }
         }
-        self.used += 1;
         let result = self.inner.search(keywords);
+        // Only served calls consume budget: an inner failure (transient,
+        // throttled) never reached the backend's billing, mirroring how
+        // `FlakyInterface` outside a meter behaves. This keeps the audit
+        // invariant exact — an entry consumed budget iff it was served.
+        if result.is_ok() {
+            self.used += 1;
+        }
         if self.keep_log {
             self.log.push(QueryLogEntry {
                 keywords: keywords.to_vec(),
                 results: result.as_ref().map(|p| p.records.len()).unwrap_or(0),
                 served: result.is_ok(),
+                from_cache: false,
             });
         }
         result
@@ -216,6 +354,43 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
 
     fn queries_issued(&self) -> usize {
         self.used
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache_stats()
+    }
+
+    fn record_cache_hit(
+        &mut self,
+        keywords: &[String],
+        results: usize,
+        charge: bool,
+    ) -> Result<(), SearchError> {
+        if charge {
+            if let Some(limit) = self.limit {
+                if self.used >= limit {
+                    if self.keep_log {
+                        self.log.push(QueryLogEntry {
+                            keywords: keywords.to_vec(),
+                            results: 0,
+                            served: false,
+                            from_cache: true,
+                        });
+                    }
+                    return Err(SearchError::BudgetExhausted);
+                }
+            }
+            self.used += 1;
+        }
+        if self.keep_log {
+            self.log.push(QueryLogEntry {
+                keywords: keywords.to_vec(),
+                results,
+                served: true,
+                from_cache: true,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -286,6 +461,111 @@ mod tests {
         assert!(!m.log()[2].served);
         // Rejected calls still do not consume budget.
         assert_eq!(m.queries_issued(), 1);
+    }
+
+    #[test]
+    fn canonical_key_folds_case_order_and_duplicates() {
+        let a = canonical_query_key(&["Thai".into(), "HOUSE".into(), "thai".into()]);
+        let b = canonical_query_key(&["house".into(), "thai".into()]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["house".to_string(), "thai".to_string()]);
+        assert!(canonical_query_key(&[]).is_empty());
+    }
+
+    #[test]
+    fn canonicalization_is_transparent_to_the_engine() {
+        // Queries equal under the canonical key must be served identical
+        // pages — the invariant the query-result cache relies on.
+        let db = tiny_db();
+        let orders = [
+            vec!["Thai".to_string(), "house".to_string()],
+            vec!["HOUSE".to_string(), "thai".to_string(), "thai".to_string()],
+        ];
+        let pages: Vec<_> = orders.iter().map(|kw| HiddenDb::search(&db, kw)).collect();
+        assert_eq!(
+            canonical_query_key(&orders[0]),
+            canonical_query_key(&orders[1])
+        );
+        assert_eq!(pages[0], pages[1]);
+    }
+
+    /// An inner interface that always fails transiently.
+    struct AlwaysTransient;
+    impl SearchInterface for AlwaysTransient {
+        fn k(&self) -> usize {
+            1
+        }
+        fn search(&mut self, _keywords: &[String]) -> Result<SearchPage, SearchError> {
+            Err(SearchError::Transient)
+        }
+        fn queries_issued(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn unserved_inner_failures_do_not_consume_budget() {
+        let mut m = Metered::new(AlwaysTransient, Some(3)).with_log();
+        assert_eq!(m.search(&["x".into()]), Err(SearchError::Transient));
+        assert_eq!(m.search(&["x".into()]), Err(SearchError::Transient));
+        // The backend never served these calls, so the quota is intact and
+        // the log shows unserved, budget-free attempts.
+        assert_eq!(m.queries_issued(), 0);
+        assert_eq!(m.remaining(), Some(3));
+        assert_eq!(m.log().len(), 2);
+        assert!(m.log().iter().all(|e| !e.served && !e.from_cache));
+    }
+
+    #[test]
+    fn uncharged_cache_hits_are_logged_but_free() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, Some(1)).with_log();
+        m.record_cache_hit(&["thai".into()], 1, false).unwrap();
+        assert_eq!(m.queries_issued(), 0);
+        assert_eq!(m.remaining(), Some(1));
+        assert_eq!(m.log().len(), 1);
+        assert!(m.log()[0].served);
+        assert!(m.log()[0].from_cache);
+        assert_eq!(m.log()[0].results, 1);
+    }
+
+    #[test]
+    fn charged_cache_hits_consume_budget_and_can_be_denied() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, Some(1)).with_log();
+        m.record_cache_hit(&["thai".into()], 1, true).unwrap();
+        assert_eq!(m.queries_issued(), 1);
+        assert_eq!(
+            m.record_cache_hit(&["steak".into()], 1, true),
+            Err(SearchError::BudgetExhausted)
+        );
+        assert_eq!(m.queries_issued(), 1, "denied hits do not consume budget");
+        assert_eq!(m.log().len(), 2);
+        assert!(!m.log()[1].served);
+        assert!(m.log()[1].from_cache);
+    }
+
+    #[test]
+    fn distinct_served_collides_duplicates_by_canonical_key() {
+        let db = tiny_db();
+        let mut m = Metered::new(&db, None).with_log();
+        m.search(&["Thai".into(), "house".into()]).unwrap();
+        m.search(&["house".into(), "thai".into()]).unwrap();
+        m.search(&["steak".into()]).unwrap();
+        m.record_cache_hit(&["THAI".into(), "house".into()], 1, false).unwrap();
+        assert_eq!(m.log().len(), 4);
+        assert_eq!(m.distinct_served(), 2, "two logical queries were served");
+    }
+
+    #[test]
+    fn cache_stats_default_to_absent() {
+        let db = tiny_db();
+        let m = Metered::new(&db, None);
+        assert_eq!(m.cache_stats(), None);
+        let s = CacheStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.since(&s), CacheStats::default());
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

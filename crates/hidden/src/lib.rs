@@ -37,7 +37,8 @@ pub use engine::{HiddenDb, HiddenDbBuilder, SearchMode};
 pub use flaky::FlakyInterface;
 pub use form::FormEncoder;
 pub use interface::{
-    Metered, QueryLogEntry, RetryPolicy, SearchError, SearchInterface, SearchPage,
+    canonical_query_key, CacheStats, Metered, QueryLogEntry, RetryPolicy, SearchError,
+    SearchInterface, SearchPage,
 };
 pub use ranking::Ranking;
 pub use record::{ExternalId, HiddenRecord, Retrieved};

@@ -14,6 +14,7 @@
 //! | [`index`] | `smartcrawl-index` | inverted/forward indexes, lazy priority queue |
 //! | [`fpm`] | `smartcrawl-fpm` | FP-Growth / Apriori frequent itemset mining |
 //! | [`hidden`] | `smartcrawl-hidden` | hidden-database simulator + search interfaces |
+//! | [`cache`] | `smartcrawl-cache` | persistent query-result cache between crawler and interface |
 //! | [`sampler`] | `smartcrawl-sampler` | deep-web samplers (oracle + pool-based) |
 //! | [`matching`] | `smartcrawl-match` | entity resolution (exact, Jaccard join) |
 //! | [`data`] | `smartcrawl-data` | synthetic DBLP-like / Yelp-like workloads |
@@ -24,6 +25,7 @@
 
 pub mod csvio;
 
+pub use smartcrawl_cache as cache;
 pub use smartcrawl_core as core;
 pub use smartcrawl_data as data;
 pub use smartcrawl_fpm as fpm;
@@ -45,9 +47,10 @@ pub use smartcrawl_core::{
     },
     Estimator, EstimatorKind, LocalDb, PoolConfig, QueryPool, Strategy, TextContext,
 };
+pub use smartcrawl_cache::{load_cache, save_cache, CachePolicy, CachedInterface, QueryCache};
 pub use smartcrawl_hidden::{
-    FlakyInterface, HiddenDb, HiddenDbBuilder, HiddenRecord, Metered, RetryPolicy,
-    SearchInterface,
+    canonical_query_key, CacheStats, FlakyInterface, HiddenDb, HiddenDbBuilder, HiddenRecord,
+    Metered, RetryPolicy, SearchInterface,
 };
 pub use smartcrawl_match::Matcher;
 pub use smartcrawl_sampler::{bernoulli_sample, pool_sample, HiddenSample, PoolSamplerConfig};

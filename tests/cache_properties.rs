@@ -1,0 +1,297 @@
+//! Cross-crate property test: a `CachedInterface` between any crawler and
+//! the metered interface is *transparent* — every approach issues the same
+//! queries, receives the same pages, and enriches the same pairs as it
+//! would uncached. A warm replay of the same crawl is then served entirely
+//! from the store (zero queries reach the meter), and the store survives a
+//! disk round-trip byte-identically.
+
+use deeper::data::{Scenario, ScenarioConfig};
+use deeper::{
+    bernoulli_sample, full_crawl_with, ideal_crawl_with, load_cache, naive_crawl_with,
+    online_smart_crawl_with, populate_crawl_with, save_cache, smart_crawl_with, CachePolicy,
+    CachedInterface, CrawlReport, FlakyInterface, HiddenSample, IdealCrawlConfig, LocalDb,
+    Matcher, Metered, NullObserver, OnlineCrawlConfig, PoolConfig, PopulateConfig, QueryCache,
+    RetryPolicy, SearchInterface, SmartCrawlConfig, Strategy, TextContext,
+};
+use proptest::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.hidden_size = 300;
+    cfg.local_size = 40;
+    cfg.delta_d = 4;
+    cfg.k = 5;
+    Scenario::build(cfg)
+}
+
+/// Runs one approach against the given interface (mirrors the driver in
+/// `tests/session_properties.rs`).
+fn run_approach<I: SearchInterface>(
+    which: usize,
+    s: &Scenario,
+    budget: usize,
+    seed: u64,
+    iface: &mut I,
+    retry: RetryPolicy,
+) -> CrawlReport {
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(s.local.clone(), &mut ctx);
+    let sample = bernoulli_sample(&s.hidden, 0.1, seed);
+    let empty = HiddenSample { records: vec![], theta: 0.0 };
+    let obs = &mut NullObserver;
+    match which {
+        0 => smart_crawl_with(
+            &local,
+            &sample,
+            iface,
+            &SmartCrawlConfig {
+                budget,
+                strategy: Strategy::est_biased(),
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+                omega: 1.0,
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        1 => smart_crawl_with(
+            &local,
+            &empty,
+            iface,
+            &SmartCrawlConfig {
+                budget,
+                strategy: Strategy::Simple,
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+                omega: 1.0,
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        2 => ideal_crawl_with(
+            &local,
+            iface,
+            &s.hidden,
+            &IdealCrawlConfig {
+                budget,
+                matcher: Matcher::Exact,
+                pool: PoolConfig::default(),
+            },
+            retry,
+            obs,
+            ctx,
+        ),
+        3 => naive_crawl_with(&local, iface, budget, Matcher::Exact, seed, retry, obs, ctx),
+        4 => full_crawl_with(&local, &sample, iface, budget, Matcher::Exact, retry, obs, ctx),
+        5 => online_smart_crawl_with(
+            &local,
+            iface,
+            &OnlineCrawlConfig { budget, seed, ..Default::default() },
+            retry,
+            obs,
+            ctx,
+        ),
+        _ => {
+            populate_crawl_with(
+                &local,
+                &sample,
+                iface,
+                &PopulateConfig { budget, pool: PoolConfig::default() },
+                retry,
+                obs,
+                ctx,
+            )
+            .report
+        }
+    }
+}
+
+const APPROACHES: [&str; 7] =
+    ["smart-b", "simple", "ideal", "naive", "full", "online", "populate"];
+
+/// The observable surface of a crawl, extracted for equality checks
+/// (`CrawlStep` itself doesn't implement `PartialEq`).
+fn surface(
+    report: &CrawlReport,
+) -> (Vec<(Vec<String>, Vec<deeper::hidden::ExternalId>, bool)>, usize, usize) {
+    let steps = report
+        .steps
+        .iter()
+        .map(|s| (s.keywords.clone(), s.returned.clone(), s.full_page))
+        .collect();
+    (steps, report.covered_claimed(), report.events.queries_issued)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Clean interface: a cold cache changes nothing the crawler can see,
+    /// and a warm replay never reaches the meter.
+    #[test]
+    fn cold_cache_is_transparent_and_warm_replay_is_free(
+        seed in 0u64..500,
+        budget in 1usize..25,
+    ) {
+        let s = scenario(seed);
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let mut plain = Metered::new(&s.hidden, Some(budget));
+            let baseline =
+                run_approach(which, &s, budget, seed, &mut plain, RetryPolicy::none());
+
+            let mut store = QueryCache::new(CachePolicy::default());
+            let mut iface = CachedInterface::new(
+                &mut store,
+                Metered::new(&s.hidden, Some(budget)),
+            );
+            let cold =
+                run_approach(which, &s, budget, seed, &mut iface, RetryPolicy::none());
+            prop_assert_eq!(
+                surface(&baseline),
+                surface(&cold),
+                "{}: cold cached run diverged from uncached", name
+            );
+            let stats = cold.cache.expect("cached run reports a cache section");
+            prop_assert_eq!(
+                stats.hits + stats.misses,
+                cold.queries_issued(),
+                "{}: every step is a hit or a miss", name
+            );
+            // Free hits: the meter only ever sees the misses.
+            prop_assert_eq!(
+                iface.inner().queries_issued(),
+                stats.misses,
+                "{}: meter charged for something other than misses", name
+            );
+
+            // Warm replay: the store now holds every key the crawl needs.
+            let mut warm_iface = CachedInterface::new(
+                &mut store,
+                Metered::new(&s.hidden, Some(budget)),
+            );
+            let warm =
+                run_approach(which, &s, budget, seed, &mut warm_iface, RetryPolicy::none());
+            prop_assert_eq!(
+                warm_iface.inner().queries_issued(),
+                0,
+                "{}: warm replay reached the hidden interface", name
+            );
+            let warm_stats = warm.cache.expect("cache section");
+            prop_assert_eq!(warm_stats.misses, 0, "{}: warm replay missed", name);
+            prop_assert_eq!(
+                surface(&cold),
+                surface(&warm),
+                "{}: warm replay diverged", name
+            );
+        }
+    }
+
+    /// Flaky interface: cache misses pass through the fault injector
+    /// untouched, so as long as no query repeats within the run (the
+    /// injector's RNG stream then advances identically), the cold cached
+    /// crawl equals the uncached one. In-run repeats are legitimate cache
+    /// wins — they *skip* injector draws — so equality is only asserted
+    /// when the cold pass recorded zero hits (the overwhelmingly common
+    /// case at this scale); the budget invariants hold unconditionally.
+    #[test]
+    fn cold_cache_is_transparent_under_flakiness(
+        seed in 0u64..500,
+        budget in 1usize..25,
+    ) {
+        let s = scenario(seed);
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let mut plain = FlakyInterface::new(
+                Metered::new(&s.hidden, Some(budget)),
+                0.2,
+                seed ^ 0xBEEF,
+            );
+            let baseline =
+                run_approach(which, &s, budget, seed, &mut plain, RetryPolicy::standard());
+
+            let mut store = QueryCache::new(CachePolicy::default());
+            let mut iface = CachedInterface::new(
+                &mut store,
+                FlakyInterface::new(
+                    Metered::new(&s.hidden, Some(budget)),
+                    0.2,
+                    seed ^ 0xBEEF,
+                ),
+            );
+            let cold =
+                run_approach(which, &s, budget, seed, &mut iface, RetryPolicy::standard());
+            let stats = cold.cache.expect("cache section");
+            if stats.hits == 0 {
+                prop_assert_eq!(
+                    surface(&baseline),
+                    surface(&cold),
+                    "{}: cold cached run diverged under flakiness", name
+                );
+            }
+            // The meter serves exactly the misses that came back clean
+            // (and were therefore cached); transient failures stay
+            // uncharged and uncached.
+            prop_assert_eq!(
+                iface.inner().queries_issued(),
+                stats.insertions,
+                "{}: meter served != pages cached", name
+            );
+            prop_assert_eq!(
+                stats.misses,
+                stats.insertions + stats.uncached_errors,
+                "{}: misses != served pages + transient failures", name
+            );
+            prop_assert_eq!(
+                cold.queries_issued(),
+                stats.hits + stats.insertions,
+                "{}: steps != hits + fresh pages", name
+            );
+            prop_assert!(
+                cold.queries_issued() + cold.events.retries <= budget,
+                "{}: served {} + retries {} exceed budget {}",
+                name, cold.queries_issued(), cold.events.retries, budget
+            );
+        }
+    }
+}
+
+/// The store built by a real crawl survives a disk round-trip: reloading
+/// yields a byte-identical re-save, a warm replay from the loaded store is
+/// fully served from cache, and corrupted files are rejected.
+#[test]
+fn crawl_populated_store_round_trips_through_disk() {
+    let seed = 11;
+    let budget = 20;
+    let s = scenario(seed);
+    let mut store = QueryCache::new(CachePolicy::default());
+    let mut iface = CachedInterface::new(&mut store, Metered::new(&s.hidden, Some(budget)));
+    let cold = run_approach(0, &s, budget, seed, &mut iface, RetryPolicy::none());
+
+    let dir = std::env::temp_dir().join("deeper_cache_properties");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.cache");
+    save_cache(&path, &store).unwrap();
+    let first = std::fs::read(&path).unwrap();
+
+    let mut loaded = load_cache(&path, CachePolicy::default()).unwrap();
+    assert_eq!(loaded.len(), store.len());
+    let resaved = dir.join("resaved.cache");
+    save_cache(&resaved, &loaded).unwrap();
+    assert_eq!(
+        first,
+        std::fs::read(&resaved).unwrap(),
+        "save -> load -> save must be byte-identical"
+    );
+
+    let mut warm_iface =
+        CachedInterface::new(&mut loaded, Metered::new(&s.hidden, Some(budget)));
+    let warm = run_approach(0, &s, budget, seed, &mut warm_iface, RetryPolicy::none());
+    assert_eq!(warm_iface.inner().queries_issued(), 0);
+    assert_eq!(warm.covered_claimed(), cold.covered_claimed());
+
+    // A file that isn't a cache store is rejected, not misparsed.
+    let corrupt = dir.join("corrupt.cache");
+    std::fs::write(&corrupt, "#not-a-cache v9\nentries\t1\n").unwrap();
+    assert!(load_cache(&corrupt, CachePolicy::default()).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
