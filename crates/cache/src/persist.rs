@@ -107,11 +107,11 @@ pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Resul
             continue;
         }
         let cells: Vec<&str> = line.split('\t').collect();
-        if cells.len() < 2 {
+        let &[nkw_cell, nrec_cell, ..] = cells.as_slice() else {
             return Err(bad("truncated entry line"));
-        }
-        let nkw: usize = cells[0].parse().map_err(|_| bad("bad keyword count"))?;
-        let nrec: usize = cells[1].parse().map_err(|_| bad("bad record count"))?;
+        };
+        let nkw: usize = nkw_cell.parse().map_err(|_| bad("bad keyword count"))?;
+        let nrec: usize = nrec_cell.parse().map_err(|_| bad("bad record count"))?;
         let mut cursor = 2usize;
         let take = |cursor: &mut usize, cells: &[&str]| -> std::io::Result<String> {
             let cell = cells.get(*cursor).ok_or_else(|| bad("entry arity mismatch"))?;

@@ -133,13 +133,12 @@ impl QueryCache {
     /// Counting lookup: a hit promotes the entry and returns a clone of
     /// the page; a miss is tallied and returns `None`.
     pub fn get(&mut self, key: &[String]) -> Option<SearchPage> {
-        if self.peek(key).is_some() {
-            self.commit_hit(key);
-            Some(self.slots[self.map[key]].page.clone())
-        } else {
+        let Some(&i) = self.map.get(key) else {
             self.note_miss();
-            None
-        }
+            return None;
+        };
+        self.commit_hit(key);
+        self.slots.get(i).map(|s| s.page.clone())
     }
 
     /// Stores a page under a canonical key, evicting the LRU entry if the

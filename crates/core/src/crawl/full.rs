@@ -13,7 +13,7 @@ use crate::local::LocalDb;
 use smartcrawl_hidden::{RetryPolicy, SearchInterface, SearchPage};
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::HiddenSample;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// [`QuerySource`] for FullCrawl: single sample keywords, most-frequent
 /// first (ties broken lexicographically for determinism).
@@ -33,7 +33,7 @@ impl<'a> FullSource<'a> {
         matcher: Matcher,
         ctx: TextContext,
     ) -> Self {
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
         for r in &sample.records {
             let mut words: Vec<String> =
                 ctx.tokenizer.raw_tokens(&r.fields.join(" ")).collect();

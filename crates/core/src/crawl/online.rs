@@ -42,7 +42,7 @@ use smartcrawl_index::QueryId;
 use smartcrawl_match::Matcher;
 use smartcrawl_sampler::HiddenSample;
 use smartcrawl_text::TokenId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of an online-sampling SmartCrawl run.
 #[derive(Debug, Clone)]
@@ -97,7 +97,7 @@ struct OnlineSampler {
     rng: StdRng,
     rounds: usize,
     accepted: usize,
-    by_id: HashMap<u64, Retrieved>,
+    by_id: BTreeMap<u64, Retrieved>,
     k: usize,
 }
 
@@ -109,7 +109,7 @@ impl OnlineSampler {
             rng: StdRng::seed_from_u64(seed),
             rounds: 0,
             accepted: 0,
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             k,
         }
     }
@@ -124,8 +124,9 @@ impl OnlineSampler {
         let n = self.by_id.len();
         let theta =
             if size_estimate > 0.0 { (n as f64 / size_estimate).min(1.0) } else { 0.0 };
-        let mut records: Vec<Retrieved> = self.by_id.values().cloned().collect();
-        records.sort_unstable_by_key(|r| r.external_id.0);
+        // BTreeMap is keyed by external id, so values() is already in
+        // ascending external-id order — no post-sort needed.
+        let records: Vec<Retrieved> = self.by_id.values().cloned().collect();
         HiddenSample { records, theta }
     }
 }
@@ -250,10 +251,11 @@ impl<'a> OnlineSource<'a> {
 impl QuerySource for OnlineSource<'_> {
     fn next_query(&mut self, issued: usize) -> Option<Vec<String>> {
         loop {
-            // Resume mid-round degree probing first.
-            if let Some(ps) = self.probe.as_mut() {
-                while ps.kw_idx < ps.kws.len() {
-                    let kw = &ps.kws[ps.kw_idx];
+            // Resume mid-round degree probing first. The state is taken
+            // out of `self.probe` and either returned there (probe query in
+            // flight) or consumed by `finalize_round` — no panic path.
+            if let Some(mut ps) = self.probe.take() {
+                while let Some(kw) = ps.kws.get(ps.kw_idx) {
                     match self.sampler.probe_cache.get(kw).copied() {
                         Some(m) => {
                             ps.kw_idx += 1;
@@ -277,12 +279,12 @@ impl QuerySource for OnlineSource<'_> {
                             ps.probes += 1;
                             let kw = kw.clone();
                             ps.kw_idx += 1;
+                            self.probe = Some(ps);
                             self.phase = Phase::AwaitProbe;
                             return Some(vec![kw]);
                         }
                     }
                 }
-                let ps = self.probe.take().expect("probe state present");
                 self.finalize_round(ps);
             }
 
@@ -367,6 +369,7 @@ impl QuerySource for OnlineSource<'_> {
                 let outcome = self.engine.process(qid, &page.records);
                 Observation::from_outcome(outcome, &page.records)
             }
+            // lint:allow(panic-freedom) CrawlSession pairs every observe with the next_query that set the phase
             Phase::RoundStart => unreachable!("observe without a query in flight"),
         }
     }

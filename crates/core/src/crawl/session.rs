@@ -169,6 +169,7 @@ impl CrawlSession {
         observer: &mut dyn CrawlObserver,
     ) -> CrawlReport {
         let mut ins = Instrument {
+            // lint:allow(determinism) wall time feeds event timestamps only, never selection
             start: Instant::now(),
             seq: 0,
             counts: EventCounts::default(),
@@ -185,7 +186,7 @@ impl CrawlSession {
         let cache_at_start = iface.cache_stats();
 
         'session: while report.steps.len() + failed_attempts < self.budget {
-            let t = Instant::now();
+            let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
             let next = source.next_query(report.steps.len());
             timing.selection_ns += t.elapsed().as_nanos() as u64;
             let Some(keywords) = next else {
@@ -197,7 +198,7 @@ impl CrawlSession {
             let page = loop {
                 let hits_before =
                     cache_at_start.and_then(|_| iface.cache_stats()).map(|s| s.hits);
-                let t = Instant::now();
+                let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
                 let result = iface.search(&keywords);
                 timing.search_ns += t.elapsed().as_nanos() as u64;
                 match result {
@@ -237,7 +238,7 @@ impl CrawlSession {
                 len: page.records.len(),
                 full: page.is_full(k),
             });
-            let t = Instant::now();
+            let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
             let observation = source.observe(&keywords, &page, k);
             timing.matching_ns += t.elapsed().as_nanos() as u64;
 
@@ -340,6 +341,7 @@ impl QuerySource for EngineSource<'_> {
     }
 
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
+        // lint:allow(panic-freedom) CrawlSession only calls observe after next_query set `pending`
         let qid = self.pending.take().expect("observe must follow next_query");
         let outcome = self.engine.process(qid, &page.records);
         Observation::from_outcome(outcome, &page.records)

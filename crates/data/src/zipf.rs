@@ -45,6 +45,7 @@ impl Zipf {
     /// Samples a rank in `0..n`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
+        // lint:allow(panic-freedom) the CDF is built from finite positive weights; NaN cannot enter
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN in CDF")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

@@ -60,10 +60,10 @@ impl InvertedIndex {
         }
         let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
         lists.sort_unstable_by_key(|l| l.len());
-        if lists[0].is_empty() {
+        let Some((seed, rest)) = lists.split_first() else { return Vec::new() };
+        if seed.is_empty() {
             return Vec::new();
         }
-        let (seed, rest) = lists.split_first().expect("non-empty query");
         let mut out = Vec::with_capacity(seed.len());
         'cand: for &rid in *seed {
             for list in rest {
@@ -83,10 +83,7 @@ impl InvertedIndex {
         }
         let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
         lists.sort_unstable_by_key(|l| l.len());
-        if lists[0].is_empty() {
-            return 0;
-        }
-        let (seed, rest) = lists.split_first().expect("non-empty query");
+        let Some((seed, rest)) = lists.split_first() else { return 0 };
         seed.iter()
             .filter(|&&rid| rest.iter().all(|list| gallop_contains(list, rid)))
             .count()
@@ -99,7 +96,7 @@ impl InvertedIndex {
         }
         let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
         lists.sort_unstable_by_key(|l| l.len());
-        let (seed, rest) = lists.split_first().expect("non-empty query");
+        let Some((seed, rest)) = lists.split_first() else { return false };
         seed.iter().any(|&rid| rest.iter().all(|list| gallop_contains(list, rid)))
     }
 }
@@ -115,12 +112,12 @@ fn gallop_contains(list: &[RecordId], target: RecordId) -> bool {
     // Exponentially widen until list[hi] >= target (or the end), then binary
     // search the inclusive window [hi/2, hi].
     let mut hi = 1usize;
-    while hi < list.len() && list[hi] < target {
+    while list.get(hi).is_some_and(|&v| v < target) {
         hi <<= 1;
     }
     let lo = hi >> 1;
     let end = (hi + 1).min(list.len());
-    list[lo..end].binary_search(&target).is_ok()
+    list.get(lo..end).is_some_and(|w| w.binary_search(&target).is_ok())
 }
 
 #[cfg(test)]

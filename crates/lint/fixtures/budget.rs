@@ -1,0 +1,27 @@
+//! budget-safety fixture: direct engine probes that bypass the metered
+//! interface. The decoys (strings, comments, test regions) must stay
+//! silent. Linted under a non-interface path by the integration tests.
+
+fn direct_method_probe(engine: &Engine, q: &[String]) -> SearchPage {
+    engine.search(q) // finding: method-call probe
+}
+
+fn direct_assoc_probe(q: &[String]) -> SearchPage {
+    Engine::search(q) // finding: associated-function probe
+}
+
+fn decoys(q: &[String]) {
+    let _msg = "call engine.search(q) against the raw engine"; // string: silent
+    // engine.search(q) in a comment: silent
+    /* Engine::search(q) in a block comment: silent */
+    let _free = search(q); // free function, not a probe: silent
+    let _field = probe.search; // no call parentheses: silent
+    let _named = research(q); // `search` is a suffix, not the ident: silent
+}
+
+#[cfg(test)]
+mod tests {
+    fn probing_in_tests_is_fine(engine: &Engine, q: &[String]) {
+        engine.search(q); // test region: silent
+    }
+}

@@ -1,0 +1,43 @@
+//! determinism fixture: OS-seeded randomness, wall-clock reads, and
+//! hash-order iteration. Linted under `crates/core/src/pool.rs` (an
+//! ordered-output path) by the integration tests.
+
+use std::collections::HashMap;
+
+fn nondeterministic_sources() -> u64 {
+    let mut rng = rand::thread_rng(); // finding: OS-seeded RNG
+    let started = Instant::now(); // finding: wall clock in lib code
+    let stamp = SystemTime::now(); // finding: wall clock in lib code
+    rng.gen()
+}
+
+struct Registry {
+    by_id: HashMap<u64, String>,
+}
+
+impl Registry {
+    fn leak_hash_order(&self) {
+        for (k, v) in &self.by_id {
+            // finding: `for … in` over a hash container field
+            emit(k, v);
+        }
+        let _names: Vec<_> = self.by_id.values().collect(); // finding: .values()
+    }
+
+    fn lookups_are_fine(&self) -> Option<&String> {
+        self.by_id.get(&7) // point lookup, no iteration: silent
+    }
+}
+
+fn decoys() {
+    let _s = "thread_rng() and Instant::now() inside a string"; // silent
+    // thread_rng() in a comment: silent
+    let seeded = StdRng::seed_from_u64(42); // seeded RNG: silent
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_use_the_clock() {
+        let _t = Instant::now(); // test region: silent
+    }
+}

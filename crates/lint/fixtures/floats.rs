@@ -1,0 +1,20 @@
+//! float-hygiene fixture: unguarded division and lossy `as` casts in the
+//! estimator kernels. Linted under `crates/core/src/estimate.rs` (a
+//! float-path) by the integration tests; under any other path every line
+//! is silent.
+
+fn ratios(num: f64, den: f64, count: usize) -> f64 {
+    let ratio = num / den; // finding: variable divisor, unguarded
+    let widened = count as f64; // finding: lossy numeric cast
+    let halved = num / 2.0; // literal divisor: silent
+    let _s = "num / den as f64 inside a string"; // silent
+    // num / den in a comment: silent
+    ratio + widened + halved
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_divide(a: f64, b: f64) -> f64 {
+        a / b // test region: silent
+    }
+}

@@ -1,0 +1,32 @@
+//! panic-freedom fixture: unwraps, panicking macros, and slice indexing
+//! in library code. String/comment decoys and test regions must stay
+//! silent. Linted under a `src/` lib path by the integration tests.
+
+fn panicky(o: Option<u32>, v: Vec<u32>) -> u32 {
+    let a = o.unwrap(); // finding: unwrap
+    let b = o.expect("present"); // finding: expect
+    let c = v[0]; // finding: slice indexing
+    if a > b {
+        panic!("boom"); // finding: panic! macro
+    }
+    match c {
+        0 => unreachable!(), // finding: unreachable! macro
+        _ => a,
+    }
+}
+
+fn decoys(o: Option<u32>) -> u32 {
+    // o.unwrap() in a comment: silent
+    let _s = "v[0] and panic! live in this string"; // silent
+    let _arr = [1, 2, 3]; // array literal, not indexing: silent
+    o.unwrap_or(0) // non-panicking sibling: silent
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap(o: Option<u32>) {
+        o.unwrap(); // test region: silent
+        assert_eq!([1, 2][0], 1); // test region: silent
+    }
+}

@@ -1,0 +1,23 @@
+//! suppression fixture: inline `lint:allow` directives in every supported
+//! and malformed shape. The integration tests pin down exactly which
+//! violations are absorbed and which meta findings fire.
+
+fn standalone_directive(o: Option<u32>) -> u32 {
+    // lint:allow(panic-freedom) fixture: the caller installed the value above
+    o.unwrap()
+}
+
+fn trailing_directive(o: Option<u32>) -> u32 {
+    o.unwrap() // lint:allow(panic-freedom) fixture: same-line justification
+}
+
+fn missing_reason(o: Option<u32>) -> u32 {
+    o.unwrap() // lint:allow(panic-freedom)
+}
+
+fn unknown_rule(o: Option<u32>) -> u32 {
+    o.unwrap() // lint:allow(no-such-rule) the rule id is wrong
+}
+
+// lint:allow(determinism) nothing on the next line iterates anything
+fn unused_directive() {}

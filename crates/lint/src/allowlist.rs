@@ -1,0 +1,282 @@
+//! The checked-in allowlist (`lint-allow.txt`): violations the team has
+//! reviewed and accepted, each with a written justification.
+//!
+//! Line format (one entry per line, `#` comments and blanks ignored):
+//!
+//! ```text
+//! allow <rule> <path> `<snippet>` -- <reason>
+//! ```
+//!
+//! * `<path>` is workspace-relative; a trailing `/*` makes it a prefix
+//!   glob (`crates/bench/src/*` covers the whole bench harness).
+//! * `` `<snippet>` `` must appear in the trimmed source line of the
+//!   diagnostic — tying the entry to code, not a line number, so entries
+//!   survive unrelated edits above them.
+//! * `<reason>` is mandatory prose.
+//!
+//! Entries that no longer match any finding are reported as
+//! `stale-allowlist` so the file cannot accumulate dead exemptions, and
+//! `--emit-allowlist` regenerates entry lines from current findings for
+//! easy triage.
+
+use crate::diag::Diagnostic;
+use crate::rules::known_rule;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: String,
+    /// Workspace-relative path, or a prefix when `prefix` is set.
+    pub path: String,
+    pub prefix: bool,
+    /// Must be contained in the diagnostic's trimmed snippet line.
+    pub snippet: String,
+    pub reason: String,
+    /// 1-based line in the allowlist file (for stale reporting).
+    pub line: u32,
+}
+
+impl Entry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        let path_ok = if self.prefix {
+            d.path.starts_with(&self.path)
+        } else {
+            d.path == self.path
+        };
+        // Backticks delimit snippets in the file format, so they are
+        // stripped on both sides — emit() output round-trips exactly.
+        let hay: String = d.snippet.chars().filter(|&c| c != '`').collect();
+        path_ok && d.rule == self.rule && hay.contains(&self.snippet)
+    }
+}
+
+/// A parsed allowlist file.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<Entry>,
+    /// Parse errors, reported as `stale-allowlist` diagnostics (a broken
+    /// entry protects nothing and must not fail silently).
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Parses allowlist text. Never panics: malformed lines become errors.
+pub fn parse(text: &str) -> Allowlist {
+    let mut list = Allowlist::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_entry(line, line_no) {
+            Ok(e) => list.entries.push(e),
+            Err(msg) => list.errors.push((line_no, msg)),
+        }
+    }
+    list
+}
+
+fn parse_entry(line: &str, line_no: u32) -> Result<Entry, String> {
+    let rest = line
+        .strip_prefix("allow ")
+        .ok_or_else(|| "expected `allow <rule> <path> `snippet` -- reason`".to_string())?;
+    let (rule, rest) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing <path> after rule".to_string())?;
+    if !known_rule(rule) {
+        return Err(format!("unknown rule `{rule}`"));
+    }
+    let (path, rest) = rest
+        .split_once(' ')
+        .ok_or_else(|| "missing `snippet` after path".to_string())?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('`')
+        .ok_or_else(|| "snippet must be wrapped in backticks".to_string())?;
+    let (snippet, rest) = rest
+        .split_once('`')
+        .ok_or_else(|| "unterminated `snippet`".to_string())?;
+    if snippet.is_empty() {
+        return Err("empty snippet matches everything — be specific".to_string());
+    }
+    let reason = rest
+        .trim_start()
+        .strip_prefix("--")
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err("missing `-- <reason>` — every exemption must say why".to_string());
+    }
+    let (path, prefix) = match path.strip_suffix("/*") {
+        Some(p) => (format!("{p}/"), true),
+        None => (path.to_string(), false),
+    };
+    Ok(Entry {
+        rule: rule.to_string(),
+        path,
+        prefix,
+        snippet: snippet.to_string(),
+        reason: reason.to_string(),
+        line: line_no,
+    })
+}
+
+/// Filters `diags` through the allowlist. Returns the surviving
+/// diagnostics and the count absorbed; stale entries and parse errors are
+/// appended to `meta` as `stale-allowlist` diagnostics against
+/// `list_path` (the allowlist file itself).
+pub fn apply(
+    list: &Allowlist,
+    list_path: &str,
+    diags: Vec<Diagnostic>,
+    meta: &mut Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut used = vec![false; list.entries.len()];
+    let mut kept = Vec::new();
+    let mut absorbed = 0usize;
+    for d in diags {
+        match list.entries.iter().position(|e| e.matches(&d)) {
+            Some(i) => {
+                if let Some(u) = used.get_mut(i) {
+                    *u = true;
+                }
+                absorbed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    for (e, used) in list.entries.iter().zip(&used) {
+        if !used {
+            meta.push(Diagnostic {
+                rule: "stale-allowlist",
+                path: list_path.to_string(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "entry no longer matches any `{}` finding in {} — remove it",
+                    e.rule, e.path
+                ),
+                snippet: format!("allow {} {} `{}`", e.rule, e.path, e.snippet),
+            });
+        }
+    }
+    for (line, msg) in &list.errors {
+        meta.push(Diagnostic {
+            rule: "stale-allowlist",
+            path: list_path.to_string(),
+            line: *line,
+            col: 1,
+            message: format!("unparseable allowlist entry: {msg}"),
+            snippet: String::new(),
+        });
+    }
+    (kept, absorbed)
+}
+
+/// Renders current findings as allowlist entry lines (for `--emit-allowlist`).
+/// The reason is a placeholder the author must replace — emitted entries
+/// are a triage aid, not an auto-approval.
+pub fn emit(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        // Use the most distinctive slice of the line as the snippet: the
+        // whole trimmed line, with backticks stripped so it stays parseable.
+        let snippet: String = d.snippet.chars().filter(|&c| c != '`').collect();
+        out.push_str(&format!(
+            "allow {} {} `{}` -- TODO: justify or fix\n",
+            d.rule, d.path, snippet
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 10,
+            col: 5,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parses_exact_and_prefix_entries() {
+        let list = parse(
+            "# comment\n\
+             allow panic-freedom crates/core/src/engine.rs `estimator.expect(` -- built in new()\n\
+             allow panic-freedom crates/bench/src/* `.expect(` -- harness may abort on IO\n",
+        );
+        assert!(list.errors.is_empty());
+        assert_eq!(list.entries.len(), 2);
+        assert!(!list.entries[0].prefix);
+        assert!(list.entries[1].prefix);
+        assert_eq!(list.entries[1].path, "crates/bench/src/");
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        let list = parse(
+            "allow panic-freedom crates/x.rs `s`\n\
+             allow no-such-rule crates/x.rs `s` -- r\n\
+             allow panic-freedom crates/x.rs `` -- r\n\
+             nonsense\n",
+        );
+        assert!(list.entries.is_empty());
+        assert_eq!(list.errors.len(), 4);
+    }
+
+    #[test]
+    fn apply_filters_and_reports_stale() {
+        let list = parse(
+            "allow panic-freedom crates/a.rs `x.unwrap()` -- fine\n\
+             allow determinism crates/b.rs `thread_rng` -- nothing matches this\n",
+        );
+        let diags = vec![
+            diag("panic-freedom", "crates/a.rs", "let y = x.unwrap();"),
+            diag("panic-freedom", "crates/c.rs", "z.unwrap()"),
+        ];
+        let mut meta = Vec::new();
+        let (kept, absorbed) = apply(&list, "lint-allow.txt", diags, &mut meta);
+        assert_eq!(absorbed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].path, "crates/c.rs");
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta[0].rule, "stale-allowlist");
+        assert_eq!(meta[0].line, 2);
+    }
+
+    #[test]
+    fn prefix_glob_covers_subtree() {
+        let list = parse("allow panic-freedom crates/bench/src/* `.expect(` -- harness\n");
+        let d = diag(
+            "panic-freedom",
+            "crates/bench/src/bin/table.rs",
+            "w.write_all(b).expect(\"io\");",
+        );
+        let mut meta = Vec::new();
+        let (kept, absorbed) = apply(&list, "lint-allow.txt", vec![d], &mut meta);
+        assert_eq!((kept.len(), absorbed), (0, 1));
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn emit_round_trips_through_parse_and_apply() {
+        let d = diag("panic-freedom", "crates/a.rs", "let y = x.unwrap(); // `tick`");
+        let text = emit(std::slice::from_ref(&d));
+        let list = parse(&text);
+        assert!(list.errors.is_empty(), "{:?}", list.errors);
+        assert_eq!(list.entries.len(), 1);
+        // The emitted entry absorbs the very diagnostic it came from,
+        // backticks in the source line notwithstanding.
+        let mut meta = Vec::new();
+        let (kept, absorbed) = apply(&list, "lint-allow.txt", vec![d], &mut meta);
+        assert_eq!((kept.len(), absorbed), (0, 1));
+        assert!(meta.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Rule scoping configuration. The defaults encode this workspace's
+//! architecture (which files *are* the metered interface layer, which
+//! modules order their output, where the numeric kernels live); tests
+//! override them to point rules at fixtures.
+
+/// Scoping knobs for the rule set.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files that *implement* the budget/caching/driver layer and may call
+    /// `search()` directly. Everything else must route through them.
+    pub interface_layer: Vec<String>,
+    /// Path prefixes whose HashMap/HashSet iteration order can reach
+    /// crawler-visible output (reports, pools, selection order).
+    pub ordered_output_paths: Vec<String>,
+    /// Files holding the floating-point estimator kernels.
+    pub float_paths: Vec<String>,
+    /// Run only these rules (`None` = all).
+    pub only_rules: Option<Vec<String>>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            interface_layer: vec![
+                // The budget meter itself and the fault-injection wrapper.
+                "crates/hidden/src/interface.rs".into(),
+                "crates/hidden/src/flaky.rs".into(),
+                // The transparent cache wrapper (its inner call is metered).
+                "crates/cache/src/cached.rs".into(),
+                // The one budget loop every crawler shares.
+                "crates/core/src/crawl/session.rs".into(),
+            ],
+            ordered_output_paths: vec![
+                "crates/core/src/pool.rs".into(),
+                "crates/core/src/select/".into(),
+                "crates/core/src/crawl/".into(),
+            ],
+            float_paths: vec![
+                "crates/core/src/estimate.rs".into(),
+                "crates/core/src/nch.rs".into(),
+            ],
+            only_rules: None,
+        }
+    }
+}
+
+impl Config {
+    /// Whether `rule` is enabled under `only_rules`.
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        match &self.only_rules {
+            None => true,
+            Some(list) => list.iter().any(|r| r == rule),
+        }
+    }
+}

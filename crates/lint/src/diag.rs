@@ -1,0 +1,51 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+/// One finding: `path:line:col: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`budget-safety`, `determinism`, `panic-freedom`,
+    /// `float-hygiene`, or a meta rule like `bad-suppression`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line the finding sits on (used for allowlist
+    /// matching and shown in output).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the canonical `file:line:col` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    | {}",
+            self.path, self.line, self.col, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Result of a workspace pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving (unsuppressed, non-allowlisted) findings, sorted by
+    /// path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// Findings silenced by inline `lint:allow` comments.
+    pub suppressed: usize,
+    /// Findings silenced by allowlist entries.
+    pub allowlisted: usize,
+}
+
+impl Report {
+    /// Whether the pass is clean (CI gate).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}

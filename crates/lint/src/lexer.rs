@@ -1,0 +1,427 @@
+//! A comment/string/raw-string-aware Rust lexer — just enough tokenization
+//! for pattern-based invariant rules, with byte spans and line/column
+//! positions so diagnostics point at real source locations.
+//!
+//! The lexer is deliberately *not* a full Rust lexer: it does not classify
+//! keywords, parse numeric suffixes precisely, or validate escapes. What it
+//! guarantees — and what the rules depend on — is that identifiers,
+//! punctuation, comments, and every literal form that can *hide* code-like
+//! text (string, raw string, byte string, char, doc comment, nested block
+//! comment) are separated correctly, so a rule scanning for `.unwrap()`
+//! can never fire on `"foo.unwrap()"` or `// old: x.unwrap()`.
+
+/// Kinds of tokens the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`search`, `fn`, `HashMap`, `r#type`, …).
+    Ident,
+    /// `'a` in `&'a str` (distinguished from char literals).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1`, `0x5A17`, `1e-9f64`).
+    Number,
+    /// `"…"`, `r#"…"#`, `b"…"`, `br##"…"##` — escape- and hash-aware.
+    Str,
+    /// `'x'`, `'\n'`, `b'\xFF'`.
+    Char,
+    /// `// …` including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* … */` with nesting, including `/** … */`.
+    BlockComment,
+    /// A single punctuation character (`.`, `(`, `[`, `/`, `!`, …).
+    Punct,
+}
+
+/// One lexed token: kind, the source slice, and its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: &'a str,
+    /// Byte offset of the token start in the file.
+    pub offset: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based column (in characters) of the token start.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is a comment (skipped by all rule scans).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Whitespace is dropped; everything else —
+/// comments included — is kept, in source order. Unterminated literals and
+/// comments extend to end of input rather than erroring: a lint pass must
+/// never abort on weird-but-compiling source, and rustc would reject truly
+/// broken files long before the linter matters.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' => match self.bytes.get(self.pos + 1) {
+                    Some(b'/') => self.line_comment(),
+                    Some(b'*') => self.block_comment(),
+                    _ => self.punct(),
+                },
+                b'"' => self.string(0),
+                b'r' => self.raw_or_ident(),
+                b'b' => self.byte_or_ident(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) || b >= 0x80 => self.ident(),
+                _ => self.punct(),
+            };
+            let text = self.src.get(start..self.pos).unwrap_or("");
+            out.push(Token { kind, text, offset: start, line, col });
+        }
+        out
+    }
+
+    /// The unconsumed input (empty at EOF).
+    fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
+    fn bump(&mut self) {
+        let Some(&b) = self.bytes.get(self.pos) else { return };
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b < 0x80 || b >= 0xC0 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            if self.rest().starts_with(b"/*") {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.rest().starts_with(b"*/") {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// Cooked string starting at the current `"` (after `skip` prefix bytes
+    /// already consumed by the caller for `b"…"`).
+    fn string(&mut self, skip: usize) -> TokenKind {
+        self.bump_n(skip + 1); // prefix + opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// Raw string starting at the current position's `r` (`hash_offset`
+    /// bytes of prefix before the `#`/`"` run, i.e. 1 for `r`, 2 for `br`).
+    fn raw_string(&mut self, hash_offset: usize) -> TokenKind {
+        self.bump_n(hash_offset);
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+        while self.pos < self.bytes.len() {
+            if self.rest().starts_with(&closer) {
+                self.bump_n(closer.len());
+                return TokenKind::Str;
+            }
+            self.bump();
+        }
+        TokenKind::Str // unterminated: runs to EOF
+    }
+
+    fn raw_or_ident(&mut self) -> TokenKind {
+        match self.bytes.get(self.pos + 1) {
+            // `r"…"` or `r#"…"#` (note: `r#ident` is a raw identifier).
+            Some(b'"') => self.raw_string(1),
+            Some(b'#') if self.bytes.get(self.pos + 2) != Some(&b'"')
+                && self.bytes.get(self.pos + 2) != Some(&b'#') =>
+            {
+                // raw identifier `r#type`
+                self.bump_n(2);
+                self.ident()
+            }
+            Some(b'#') => self.raw_string(1),
+            _ => self.ident(),
+        }
+    }
+
+    fn byte_or_ident(&mut self) -> TokenKind {
+        match (self.bytes.get(self.pos + 1), self.bytes.get(self.pos + 2)) {
+            (Some(b'"'), _) => self.string(1),
+            (Some(b'r'), Some(b'"' | b'#')) => self.raw_string(2),
+            (Some(b'\''), _) => {
+                self.bump(); // `b`
+                self.char_literal();
+                TokenKind::Char
+            }
+            _ => self.ident(),
+        }
+    }
+
+    /// `'a` lifetime vs `'x'` char literal: it is a char literal iff a
+    /// closing quote follows the (possibly escaped) content.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let rest = self.bytes.get(self.pos + 1..).unwrap_or(&[]);
+        let is_char = match rest.first() {
+            Some(b'\\') => true,
+            Some(&c) if is_ident_start(c) || c >= 0x80 => {
+                // `'a'` is a char; `'a` / `'static` are lifetimes. Find the
+                // end of the ident run and check for a closing quote.
+                let mut i = 1;
+                while rest.get(i).is_some_and(|&c| is_ident_continue(c) || c >= 0x80) {
+                    i += 1;
+                }
+                rest.get(i) == Some(&b'\'')
+            }
+            Some(_) => true, // `'('`, `'0'`, …
+            None => false,
+        };
+        if is_char {
+            self.char_literal();
+            TokenKind::Char
+        } else {
+            self.bump(); // `'`
+            while self.bytes.get(self.pos).is_some_and(|&c| is_ident_continue(c) || c >= 0x80) {
+                self.bump();
+            }
+            TokenKind::Lifetime
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening `'`
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // unterminated
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        self.bump();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.bump(),
+                // A decimal point only if followed by a digit (`1.0` yes,
+                // `1.min(2)` and `0..n` no).
+                b'.' if self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) => {
+                    self.bump()
+                }
+                // Exponent sign: `1e-9`.
+                b'+' | b'-'
+                    if matches!(self.bytes.get(self.pos - 1), Some(b'e' | b'E'))
+                        && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) =>
+                {
+                    self.bump()
+                }
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        self.bump();
+        while self.bytes.get(self.pos).is_some_and(|&b| is_ident_continue(b) || b >= 0x80) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "x.unwrap() // not code";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let toks = kinds(r#"let s = "a\"b.unwrap()\"c"; y"#);
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("y"));
+        assert!(!toks.iter().any(|(_, t)| t.contains("unwrap") && !t.starts_with('"')));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"panic!("x") "quoted""#; z"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("z"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "panic"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let toks = kinds(r##"let a = b"x.unwrap()"; let b2 = br#"y"#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments() {
+        let toks = kinds("a // x.unwrap()\nb /* outer /* inner.expect() */ still */ c");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = kinds("&'static str");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 1);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "r#type"));
+    }
+
+    #[test]
+    fn float_and_range_disambiguation() {
+        assert_eq!(
+            kinds("1.5 1..3 1.min(2) 1e-9"),
+            vec![
+                (TokenKind::Number, "1.5"),
+                (TokenKind::Number, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "3"),
+                (TokenKind::Number, "1"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "min"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Number, "2"),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Number, "1e-9"),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_line_and_col_accurate() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text, "cd");
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'a", "b\"x"] {
+            let _ = lex(src); // must terminate without panicking
+        }
+    }
+}

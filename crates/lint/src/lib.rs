@@ -1,0 +1,150 @@
+//! smartcrawl-lint: a workspace invariant checker for the SmartCrawl
+//! crates.
+//!
+//! The rules encode the invariants the paper's evaluation rests on —
+//! every query charged to the budget (`budget-safety`), bit-reproducible
+//! results (`determinism`), no panics mid-crawl (`panic-freedom`), and
+//! guarded float kernels (`float-hygiene`) — as lexical passes over a
+//! comment/string-aware token stream. Surviving violations must carry a
+//! written justification, either inline (`// lint:allow(<rule>) reason`)
+//! or in the checked-in allowlist (`lint-allow.txt`).
+//!
+//! Run it as `cargo run -p smartcrawl-lint --` from the workspace root,
+//! or use [`lint_source`] / [`lint_workspace`] directly.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod allowlist;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod suppress;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Report};
+
+/// Lints one file's source text: runs every enabled rule, then applies
+/// inline suppressions. Returns the surviving diagnostics (meta findings
+/// included) and the number suppressed. The allowlist is applied at
+/// workspace level, not here.
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> (Vec<Diagnostic>, usize) {
+    let file = source::SourceFile::new(path, src);
+    let diags = rules::run_all(&file, cfg);
+    let mut meta = Vec::new();
+    let sups = suppress::collect(&file, &mut meta);
+    let (mut kept, suppressed) = suppress::apply(&file, cfg, diags, &sups, &mut meta);
+    kept.append(&mut meta);
+    (kept, suppressed)
+}
+
+/// Directory names never descended into: build output, VCS state, result
+/// CSVs, editor/agent state, and the lint fixtures (which are violations
+/// on purpose).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "results", ".claude", "fixtures"];
+
+/// Collects every checkable `.rs` file under `root`, workspace-relative
+/// with forward slashes, sorted for deterministic reports.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every `.rs` file under `root`, applying `allow` (the parsed
+/// checked-in allowlist; `allow_path` names it in stale-entry reports).
+pub fn lint_workspace(
+    root: &Path,
+    cfg: &Config,
+    allow: &allowlist::Allowlist,
+    allow_path: &str,
+) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut all = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = fs::read_to_string(&path) else {
+            // Non-UTF-8 or vanished mid-walk: nothing lexical to check.
+            continue;
+        };
+        report.files_checked += 1;
+        let (diags, suppressed) = lint_source(&rel, &src, cfg);
+        report.suppressed += suppressed;
+        all.extend(diags);
+    }
+    let mut meta = Vec::new();
+    let (mut kept, absorbed) = allowlist::apply(allow, allow_path, all, &mut meta);
+    report.allowlisted = absorbed;
+    kept.append(&mut meta);
+    kept.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    report.diagnostics = kept;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_suppressions() {
+        let src = "fn f(o: Option<u32>) {\n    o.unwrap(); // lint:allow(panic-freedom) checked above\n}\n";
+        let (diags, suppressed) = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn lint_source_reports_unsuppressed() {
+        let src = "fn f(o: Option<u32>) { o.unwrap(); }\n";
+        let (diags, suppressed) = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags.first().map(|d| d.rule), Some("panic-freedom"));
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn rule_filtered_runs_do_not_judge_foreign_suppressions() {
+        // The unwrap is justified; with only `determinism` running, the
+        // panic-freedom rule never fires, but its suppression must not be
+        // reported unused — it was never tested.
+        let src = "fn f(o: Option<u32>) {\n    o.unwrap(); // lint:allow(panic-freedom) checked above\n}\n";
+        let mut cfg = Config::default();
+        cfg.only_rules = Some(vec!["determinism".into()]);
+        let (diags, suppressed) = lint_source("crates/x/src/lib.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(suppressed, 0);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding() {
+        let src = "fn f(o: Option<u32>) {\n    o.unwrap(); // lint:allow(panic-freedom)\n}\n";
+        let (diags, _) = lint_source("crates/x/src/lib.rs", src, &Config::default());
+        assert!(diags.iter().any(|d| d.rule == "bad-suppression"));
+        assert!(diags.iter().any(|d| d.rule == "panic-freedom"));
+    }
+}

@@ -1,0 +1,141 @@
+//! CLI for smartcrawl-lint. Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p smartcrawl-lint --                 # full pass, CI gate
+//! cargo run -p smartcrawl-lint -- --rule determinism
+//! cargo run -p smartcrawl-lint -- --emit-allowlist > lint-allow.txt
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use smartcrawl_lint::{allowlist, lint_workspace, rules, Config};
+
+const USAGE: &str = "\
+smartcrawl-lint — workspace invariant checker
+
+USAGE:
+    smartcrawl-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        workspace root to scan (default: current directory)
+    --allowlist <FILE>  allowlist file (default: <root>/lint-allow.txt)
+    --rule <ID>         run only this rule (repeatable); one of:
+                        budget-safety, determinism, panic-freedom, float-hygiene
+    --emit-allowlist    print surviving findings as allowlist entries and exit 0
+    -h, --help          print this help
+";
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    only_rules: Vec<String>,
+    emit: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        only_rules: Vec::new(),
+        emit: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--emit-allowlist" => args.emit = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(v);
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a file")?;
+                args.allowlist = Some(PathBuf::from(v));
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a rule id")?;
+                if !rules::RULES.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{v}` (known: {})",
+                        rules::RULES.join(", ")
+                    ));
+                }
+                args.only_rules.push(v);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = Config::default();
+    if !args.only_rules.is_empty() {
+        cfg.only_rules = Some(args.only_rules.clone());
+    }
+
+    let allow_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-allow.txt"));
+    let mut allow = match fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text),
+        // A missing allowlist is fine (empty); an unreadable one is not.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => allowlist::Allowlist::default(),
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", allow_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    // A rule-filtered run only judges entries for the rules it actually
+    // ran — an entry for a disabled rule is untested, not stale.
+    if !args.only_rules.is_empty() {
+        allow.entries.retain(|e| args.only_rules.iter().any(|r| r == &e.rule));
+    }
+    let allow_name = allow_path.to_string_lossy().replace('\\', "/");
+
+    let report = match lint_workspace(&args.root, &cfg, &allow, &allow_name) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.emit {
+        print!("{}", allowlist::emit(&report.diagnostics));
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &report.diagnostics {
+        println!("{}", d.render());
+    }
+    println!(
+        "smartcrawl-lint: {} files checked, {} finding(s), {} suppressed inline, {} allowlisted",
+        report.files_checked,
+        report.diagnostics.len(),
+        report.suppressed,
+        report.allowlisted
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,97 @@
+//! `budget-safety`: every issued query must be charged against the budget.
+//!
+//! The paper's evaluation (§3's budget model) is meaningless if a code
+//! path can reach the hidden interface without going through the metering
+//! layer, so any direct `search()` call — `iface.search(…)`,
+//! `SearchInterface::search(…)`, `HiddenDb::search(…)` — outside the
+//! interface-layer files and test code is a violation. The sampler
+//! crate's probe loops, bench table generators, and doc fixtures that
+//! legitimately sit outside the layer carry explicit justifications.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::emit;
+use crate::source::{FileKind, SourceFile};
+
+pub fn check(file: &SourceFile<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Test {
+        return;
+    }
+    if cfg.interface_layer.iter().any(|p| file.path.ends_with(p.as_str())) {
+        return;
+    }
+    let n = file.code.len();
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        if tok.text != "search" || file.in_test_code(tok.offset) {
+            continue;
+        }
+        // Method call: `<recv> . search (`
+        let method_call = i >= 1
+            && file.code_tok(i - 1).is_some_and(|t| t.text == ".")
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "(");
+        // Path call: `<Type> :: search (`
+        let path_call = i >= 2
+            && file.code_tok(i - 1).is_some_and(|t| t.text == ":")
+            && file.code_tok(i - 2).is_some_and(|t| t.text == ":")
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "(");
+        if method_call || path_call {
+            emit(
+                out,
+                file,
+                "budget-safety",
+                tok.line,
+                tok.col,
+                "direct search() call bypasses the budget meter — route queries \
+                 through Metered/CachedInterface/CrawlSession so they are charged"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_method_and_path_calls() {
+        let src = "fn f(i: &mut I) { i.search(&kw); HiddenDb::search(db, &kw); }";
+        let d = diags("crates/core/src/foo.rs", src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == "budget-safety"));
+    }
+
+    #[test]
+    fn interface_layer_files_are_exempt() {
+        let src = "fn f(i: &mut I) { i.search(&kw); }";
+        assert!(diags("crates/hidden/src/interface.rs", src).is_empty());
+        assert!(diags("crates/core/src/crawl/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f(i: &mut I) { i.search(&kw); } }";
+        assert!(diags("crates/core/src/foo.rs", src).is_empty());
+        assert!(diags("crates/core/tests/props.rs", "fn f() { i.search(&kw); }").is_empty());
+    }
+
+    #[test]
+    fn binary_search_and_definitions_do_not_fire() {
+        let src = "fn search(&self) {} fn g(v: &[u32]) { v.binary_search(&1).ok(); }";
+        assert!(diags("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let src = "fn f() { let s = \"i.search(x)\"; } // i.search(y)";
+        assert!(diags("crates/core/src/foo.rs", src).is_empty());
+    }
+}

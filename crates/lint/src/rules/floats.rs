@@ -1,0 +1,126 @@
+//! `float-hygiene`: the estimator kernels must not divide blind or cast
+//! lossy.
+//!
+//! Scoped to the files in [`Config::float_paths`] (the NCH / benefit
+//! estimators), where a zero denominator silently poisons every
+//! downstream benefit score as NaN and a lossy `as` cast truncates
+//! document frequencies. Flagged patterns:
+//!
+//! * `/` whose right-hand side is not a literal — a literal denominator
+//!   is visibly nonzero, anything else needs a guard (and a `lint:allow`
+//!   naming the guard once it exists).
+//! * `as <int>` and `as f64`/`as f32` — numeric casts saturate or drop
+//!   precision; each surviving cast documents its range invariant.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::emit;
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+const NUM_TYPES: [&str; 12] = [
+    "usize", "u64", "u32", "u16", "u8", "isize", "i64", "i32", "i16", "i8", "f64", "f32",
+];
+
+pub fn check(file: &SourceFile<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Test {
+        return;
+    }
+    if !cfg.float_paths.iter().any(|p| {
+        file.path.starts_with(p.as_str()) || file.path.ends_with(p.as_str())
+    }) {
+        return;
+    }
+    let n = file.code.len();
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        if file.in_test_code(tok.offset) {
+            continue;
+        }
+        // Division with a non-literal denominator. `/=` counts too; a
+        // doubled `//` or `/*` never reaches here (comments are stripped).
+        if tok.text == "/" {
+            let mut j = i + 1;
+            if file.code_tok(j).is_some_and(|t| t.text == "=") {
+                j += 1;
+            }
+            let literal_rhs = file.code_tok(j).is_some_and(|t| t.kind == TokenKind::Number);
+            if !literal_rhs {
+                emit(
+                    out,
+                    file,
+                    "float-hygiene",
+                    tok.line,
+                    tok.col,
+                    "division by a non-literal denominator — guard against zero \
+                     (NaN poisons every downstream benefit score)"
+                        .to_string(),
+                );
+            }
+            continue;
+        }
+        // `as <numeric type>` — lossy numeric cast.
+        if tok.text == "as" {
+            if let Some(ty) = file.code_tok(i + 1) {
+                if NUM_TYPES.contains(&ty.text) {
+                    emit(
+                        out,
+                        file,
+                        "float-hygiene",
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`as {}` cast can truncate or lose precision — use \
+                             try_from/From or lint:allow with the range invariant",
+                            ty.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_nonliteral_division_in_float_paths() {
+        let src = "fn f(a: f64, b: f64) -> f64 { a / b }";
+        assert_eq!(diags("crates/core/src/estimate.rs", src).len(), 1);
+        assert!(diags("crates/core/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn literal_denominators_are_fine() {
+        let src = "fn f(a: f64) -> f64 { let mut x = a / 2.0; x /= 4.0; x }";
+        assert!(diags("crates/core/src/nch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_numeric_casts() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }\nfn g(x: f64) -> usize { x as usize }";
+        assert_eq!(diags("crates/core/src/estimate.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn non_numeric_as_is_fine() {
+        let src = "fn f(x: &dyn Est) { let _ = x as &dyn Est; }";
+        assert!(diags("crates/core/src/estimate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_fire() {
+        let src = "// a / b in a comment\nfn f() -> f64 { 1.0 / 2.0 }";
+        assert!(diags("crates/core/src/nch.rs", src).is_empty());
+    }
+}

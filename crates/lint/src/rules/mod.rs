@@ -1,0 +1,67 @@
+//! The rule engine: each rule scans a [`SourceFile`]'s code tokens and
+//! emits diagnostics. Rules are pattern passes over the comment/string-
+//! stripped token stream — they never see text inside literals or
+//! comments, so code-like strings cannot trigger them.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod budget;
+mod determinism;
+mod floats;
+mod panic_free;
+
+/// The checkable rule ids, in reporting order.
+pub const RULES: [&str; 4] =
+    ["budget-safety", "determinism", "panic-freedom", "float-hygiene"];
+
+/// Meta rules emitted by the suppression/allowlist machinery itself.
+pub const META_RULES: [&str; 3] =
+    ["bad-suppression", "unused-suppression", "stale-allowlist"];
+
+/// Whether `id` names a rule a `lint:allow` may reference.
+pub fn known_rule(id: &str) -> bool {
+    RULES.contains(&id)
+}
+
+/// Runs every enabled rule over one file. Diagnostics are deduplicated to
+/// one per (rule, line) — a line either passes a rule or it does not, and
+/// per-line granularity is what suppressions and the allowlist key on.
+pub fn run_all(file: &SourceFile<'_>, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cfg.rule_enabled("budget-safety") {
+        budget::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("determinism") {
+        determinism::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("panic-freedom") {
+        panic_free::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("float-hygiene") {
+        floats::check(file, cfg, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    out
+}
+
+/// Shared helper: emit a diagnostic anchored at a token position.
+pub(crate) fn emit(
+    out: &mut Vec<Diagnostic>,
+    file: &SourceFile<'_>,
+    rule: &'static str,
+    line: u32,
+    col: u32,
+    message: String,
+) {
+    out.push(Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line,
+        col,
+        message,
+        snippet: file.line_text(line).to_string(),
+    });
+}

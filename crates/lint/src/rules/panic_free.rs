@@ -1,0 +1,149 @@
+//! `panic-freedom`: library code must not abort the crawl.
+//!
+//! A crawler half-way through a budget cannot recover from a panic — the
+//! budget is spent and the partial harvest is lost — so in library crates
+//! (not bins, not tests) we ban `.unwrap()`, `.expect(…)`, `panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`, and bare slice indexing
+//! `x[i]` where the receiver is an expression. Construction-time
+//! invariants that genuinely cannot fail carry an inline `lint:allow`
+//! with the invariant spelled out.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::emit;
+use crate::source::{FileKind, SourceFile};
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(file: &SourceFile<'_>, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib {
+        return;
+    }
+    let n = file.code.len();
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        if file.in_test_code(tok.offset) {
+            continue;
+        }
+        // `. unwrap (` / `. expect (`
+        if (tok.text == "unwrap" || tok.text == "expect")
+            && i >= 1
+            && file.code_tok(i - 1).is_some_and(|t| t.text == ".")
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "(")
+        {
+            emit(
+                out,
+                file,
+                "panic-freedom",
+                tok.line,
+                tok.col,
+                format!(
+                    ".{}() can panic mid-crawl — return an error or restructure \
+                     (lint:allow with the invariant if it truly cannot fail)",
+                    tok.text
+                ),
+            );
+            continue;
+        }
+        // `panic !` and friends.
+        if PANIC_MACROS.contains(&tok.text)
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "!")
+        {
+            emit(
+                out,
+                file,
+                "panic-freedom",
+                tok.line,
+                tok.col,
+                format!("{}! aborts the crawl — library code must return errors", tok.text),
+            );
+            continue;
+        }
+        // Slice/array indexing: `<expr> [ … ]` where <expr> ends in an
+        // ident, `)`, or `]`. `&v[..]` range slicing panics the same way.
+        // Attribute brackets (`#[…]`) and type brackets (`[u32; 4]`) never
+        // follow those token kinds, so this stays precise lexically.
+        if tok.text == "[" && i >= 1 {
+            if let Some(prev) = file.code_tok(i - 1) {
+                let indexable = prev.text == ")"
+                    || prev.text == "]"
+                    || (is_ident(prev.text) && !is_keyword(prev.text));
+                if indexable {
+                    emit(
+                        out,
+                        file,
+                        "panic-freedom",
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "indexing `{}[…]` panics when out of bounds — use .get() \
+                             or lint:allow with the bounds invariant",
+                            prev.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Keywords that can precede `[` without the `[` being an index
+/// (`return [..]`, `in [..]`, `else [..]` etc. are not index expressions).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "in" | "if" | "else" | "match" | "break" | "mut" | "ref" | "box"
+            | "move" | "as" | "dyn" | "impl" | "where" | "const" | "static" | "let"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f(o: Option<u32>) { o.unwrap(); o.expect(\"x\"); panic!(\"no\"); unreachable!(); }";
+        let d = diags("crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 4, "{d:?}");
+    }
+
+    #[test]
+    fn flags_slice_indexing() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + foo(v)[0] }";
+        assert_eq!(diags("crates/x/src/lib.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn attributes_and_array_types_do_not_fire() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u32; 4] }\nfn f() -> Vec<u32> { vec![1, 2] }";
+        assert!(diags("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bins_and_tests_are_exempt() {
+        let src = "fn main() { foo().unwrap(); }";
+        assert!(diags("crates/x/src/bin/t.rs", src).is_empty());
+        assert!(diags("crates/x/tests/t.rs", src).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests { #[test]\nfn t() { foo().unwrap(); } }";
+        assert!(diags("crates/x/src/lib.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0).min(o.unwrap_or_default()) }";
+        assert!(diags("crates/x/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-file analysis context: lexed tokens, file classification, and
+//! `#[cfg(test)]` / `#[test]` region tracking, so rules can scope
+//! themselves to production code.
+
+use crate::lexer::{lex, Token};
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: the default for `src/**`.
+    Lib,
+    /// Binary targets (`src/bin/**`, `src/main.rs`): panic-on-startup and
+    /// timing calls are acceptable here.
+    Bin,
+    /// Test-only code: `tests/**`, `benches/**`, `examples/**`.
+    Test,
+}
+
+/// A lexed source file plus everything rules need to scope their scans.
+pub struct SourceFile<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub kind: FileKind,
+    src: &'a str,
+    /// Every token, comments included (suppression scanning).
+    pub tokens: Vec<Token<'a>>,
+    /// Indices into `tokens` of non-comment tokens (rule scanning).
+    pub code: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Byte offset of each line start (line-text lookup).
+    line_starts: Vec<usize>,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str) -> FileKind {
+    let p = path;
+    if p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.starts_with("benches/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+        || p.contains("/examples/")
+    {
+        FileKind::Test
+    } else if p.contains("/src/bin/") || p.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+impl<'a> SourceFile<'a> {
+    /// Lexes and classifies `src` under the given workspace-relative path.
+    pub fn new(path: &str, src: &'a str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = Self {
+            path: path.replace('\\', "/"),
+            kind: classify(path),
+            src,
+            tokens,
+            code,
+            test_regions: Vec::new(),
+            line_starts,
+        };
+        file.test_regions = file.find_test_regions();
+        file
+    }
+
+    /// The code token at code-index `i` (None past the end).
+    pub fn code_tok(&self, i: usize) -> Option<&Token<'a>> {
+        self.code.get(i).and_then(|&t| self.tokens.get(t))
+    }
+
+    /// Whether a byte offset falls inside a `#[cfg(test)]` / `#[test]`
+    /// region (or the whole file is test-only).
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.kind == FileKind::Test
+            || self.test_regions.iter().any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// The trimmed text of a 1-based line.
+    pub fn line_text(&self, line: u32) -> &str {
+        let i = (line as usize).saturating_sub(1);
+        let start = match self.line_starts.get(i) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self.line_starts.get(i + 1).map_or(self.src.len(), |&e| e - 1);
+        self.src.get(start..end).unwrap_or("").trim()
+    }
+
+    /// Finds byte ranges of items annotated `#[cfg(test)]` or `#[test]`.
+    ///
+    /// After such an attribute, any further attributes are skipped; the
+    /// region then runs through the matching `}` of the item's first brace
+    /// block, or to the terminating `;` for brace-less items
+    /// (`#[cfg(test)] use …;`).
+    fn find_test_regions(&self) -> Vec<(usize, usize)> {
+        let mut regions = Vec::new();
+        let toks = &self.code;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if let Some(after_attr) = self.match_test_attr(i) {
+                let Some(start) = self.code_tok(i).map(|t| t.offset) else { break };
+                let mut j = after_attr;
+                // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod m`).
+                while self.tok_text(j) == Some("#") && self.tok_text(j + 1) == Some("[") {
+                    j = self.skip_balanced(j + 1, "[", "]");
+                }
+                // Find the item body: first `{` before a top-level `;`.
+                let mut end = self.src.len();
+                let mut k = j;
+                while k < toks.len() {
+                    match self.tok_text(k) {
+                        Some("{") => {
+                            let after = self.skip_balanced(k, "{", "}");
+                            end = self.end_offset(after.saturating_sub(1));
+                            break;
+                        }
+                        Some(";") => {
+                            end = self.end_offset(k);
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                regions.push((start, end));
+                // Continue scanning *after* this region so sibling test
+                // items are found; nested ones are already covered.
+                while self.code_tok(i).is_some_and(|t| t.offset < end) {
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+        }
+        regions
+    }
+
+    /// If code-index `i` starts `#[test]` / `#[cfg(test)]`, returns the
+    /// code-index just past the closing `]`.
+    fn match_test_attr(&self, i: usize) -> Option<usize> {
+        if self.tok_text(i) != Some("#") || self.tok_text(i + 1) != Some("[") {
+            return None;
+        }
+        // `#[test]`
+        if self.tok_text(i + 2) == Some("test") && self.tok_text(i + 3) == Some("]") {
+            return Some(i + 4);
+        }
+        // `#[cfg(test)]`
+        if self.tok_text(i + 2) == Some("cfg")
+            && self.tok_text(i + 3) == Some("(")
+            && self.tok_text(i + 4) == Some("test")
+            && self.tok_text(i + 5) == Some(")")
+            && self.tok_text(i + 6) == Some("]")
+        {
+            return Some(i + 7);
+        }
+        None
+    }
+
+    /// Skips from the code-index of an `open` token past its matching
+    /// `close`, returning the code-index after it.
+    fn skip_balanced(&self, mut i: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        while i < self.code.len() {
+            match self.tok_text(i) {
+                Some(t) if t == open => depth += 1,
+                Some(t) if t == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    fn tok_text(&self, i: usize) -> Option<&str> {
+        self.code_tok(i).map(|t| t.text)
+    }
+
+    /// Byte offset just past the code token at code-index `i`.
+    fn end_offset(&self, i: usize) -> usize {
+        self.code_tok(i)
+            .map(|t| t.offset + t.text.len())
+            .unwrap_or(self.src.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(classify("crates/core/src/pool.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/fig4.rs"), FileKind::Bin);
+        assert_eq!(classify("src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/core/tests/lemmas.rs"), FileKind::Test);
+        assert_eq!(classify("tests/cli.rs"), FileKind::Test);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/microbench.rs"), FileKind::Test);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        let a = src.find("x.unwrap").unwrap();
+        let b = src.find("y.unwrap").unwrap();
+        let c = src.find("fn c").unwrap();
+        assert!(!f.in_test_code(a));
+        assert!(f.in_test_code(b));
+        assert!(!f.in_test_code(c));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() { z.unwrap(); }\nfn after() { w.unwrap(); }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.in_test_code(src.find("z.unwrap").unwrap()));
+        assert!(!f.in_test_code(src.find("w.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { q.unwrap(); } }\nfn g() { r.unwrap(); }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.in_test_code(src.find("q.unwrap").unwrap()));
+        assert!(!f.in_test_code(src.find("r.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn real() { s.unwrap(); }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_code(src.find("s.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn g() { t.unwrap(); }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(!f.in_test_code(src.find("t.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn whole_test_file_is_test_code() {
+        let f = SourceFile::new("crates/x/tests/props.rs", "fn t() { u.unwrap(); }");
+        assert!(f.in_test_code(5));
+    }
+
+    #[test]
+    fn line_text_lookup() {
+        let f = SourceFile::new("x.rs", "a\n  let y = 1;\nb");
+        assert_eq!(f.line_text(2), "let y = 1;");
+        assert_eq!(f.line_text(99), "");
+    }
+}

@@ -1,0 +1,174 @@
+//! Inline suppressions: `// lint:allow(<rule>[, <rule>…]) <reason>`.
+//!
+//! A suppression must carry a non-empty reason — an allow without a
+//! written justification is itself a violation (`bad-suppression`), and a
+//! suppression that silences nothing is reported as `unused-suppression`
+//! so stale annotations cannot rot in place. A trailing comment covers its
+//! own line; a standalone comment covers the next line holding code.
+
+use crate::diag::Diagnostic;
+use crate::rules::known_rule;
+use crate::source::{FileKind, SourceFile};
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rules it silences.
+    pub rules: Vec<String>,
+    /// Lines it covers (the comment's own line, plus the next code line
+    /// for standalone comments).
+    pub lines: Vec<u32>,
+    /// Where the comment itself sits (for meta diagnostics).
+    pub line: u32,
+    pub col: u32,
+    /// The justification text after the rule list.
+    pub reason: String,
+}
+
+/// Extracts every suppression in the file, emitting `bad-suppression`
+/// diagnostics for malformed ones (missing reason, unknown rule id).
+pub fn collect(file: &SourceFile<'_>, meta: &mut Vec<Diagnostic>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, tok) in file.tokens.iter().enumerate() {
+        if !tok.is_comment() {
+            continue;
+        }
+        // A directive must *start* the comment body (`// lint:allow(…) …`);
+        // doc comments are prose and prose may mention the syntax without
+        // being a suppression.
+        let body = tok.text.trim_start_matches('/').trim_start_matches('*');
+        if tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || tok.text.starts_with("/**")
+            || tok.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:allow") else { continue };
+        let bad = |msg: &str, meta: &mut Vec<Diagnostic>| {
+            meta.push(Diagnostic {
+                rule: "bad-suppression",
+                path: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: msg.to_string(),
+                snippet: file.line_text(tok.line).to_string(),
+            });
+        };
+        let Some(rest) = rest.trim_start().strip_prefix('(') else {
+            bad("malformed lint:allow — expected `lint:allow(<rule>) reason`", meta);
+            continue;
+        };
+        let Some((rule_list, after)) = rest.split_once(')') else {
+            bad("malformed lint:allow — unclosed rule list", meta);
+            continue;
+        };
+        let rules: Vec<String> = rule_list
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("lint:allow with an empty rule list", meta);
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !known_rule(r)) {
+            bad(&format!("lint:allow names unknown rule `{unknown}`"), meta);
+            continue;
+        }
+        let reason = after
+            .trim_start_matches([':', '-', ' '])
+            .trim()
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            bad("lint:allow without a reason — every suppression must say why", meta);
+            continue;
+        }
+
+        // Coverage: the comment's own line, and — when no code precedes the
+        // comment on that line — the next line that holds code.
+        let mut lines = vec![tok.line];
+        let code_before_on_line = file
+            .tokens
+            .get(..idx)
+            .unwrap_or(&[])
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| !t.is_comment());
+        if !code_before_on_line {
+            if let Some(next) = file
+                .tokens
+                .get(idx + 1..)
+                .unwrap_or(&[])
+                .iter()
+                .find(|t| !t.is_comment() && t.line > tok.line)
+            {
+                lines.push(next.line);
+            }
+        }
+        out.push(Suppression {
+            rules,
+            lines,
+            line: tok.line,
+            col: tok.col,
+            reason,
+        });
+    }
+    out
+}
+
+/// Applies suppressions to `diags`, returning the surviving diagnostics
+/// and the number suppressed. Unused suppressions are reported through
+/// `meta` — except in test files (where rules do not run anyway) and for
+/// directives whose every rule is disabled by `cfg.only_rules` (a
+/// rule-filtered run never tested whether they suppress anything).
+pub fn apply(
+    file: &SourceFile<'_>,
+    cfg: &crate::config::Config,
+    diags: Vec<Diagnostic>,
+    sups: &[Suppression],
+    meta: &mut Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut used = vec![false; sups.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        let hit = sups.iter().enumerate().find(|(_, s)| {
+            s.lines.contains(&d.line) && s.rules.iter().any(|r| r == d.rule)
+        });
+        match hit {
+            Some((i, _)) => {
+                if let Some(u) = used.get_mut(i) {
+                    *u = true;
+                }
+                suppressed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    for (s, used) in sups.iter().zip(&used) {
+        if !used
+            && file.kind != FileKind::Test
+            && s.rules.iter().any(|r| cfg.rule_enabled(r))
+        {
+            // A suppression may target a test region (where rules are
+            // silent by design); those are unused too and still flagged —
+            // delete the annotation rather than let it imply protection.
+            meta.push(Diagnostic {
+                rule: "unused-suppression",
+                path: file.path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "lint:allow({}) does not match any finding — remove it",
+                    s.rules.join(", ")
+                ),
+                snippet: file.line_text(s.line).to_string(),
+            });
+        }
+    }
+    (kept, suppressed)
+}

@@ -1,0 +1,200 @@
+//! Fixture-driven integration tests: each file under `fixtures/` carries
+//! deliberate violations of one rule plus string/comment/test-region
+//! decoys that must stay silent. The fixtures directory is excluded from
+//! workspace walks (`SKIP_DIRS`), so these violations never reach the
+//! real lint run.
+
+use smartcrawl_lint::{allowlist, lint_source, Config, Diagnostic};
+use std::path::{Path, PathBuf};
+
+/// The lint crate's directory: `CARGO_MANIFEST_DIR` under cargo, the
+/// workspace-relative path when the test binary is run from the repo root
+/// (the offline rustc harness).
+fn crate_dir() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => PathBuf::from("crates/lint"),
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = crate_dir().join("fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+/// Lints a fixture's text as if it lived at `as_path` in the workspace.
+fn lint_fixture(name: &str, as_path: &str) -> (Vec<Diagnostic>, usize) {
+    lint_source(as_path, &fixture(name), &Config::default())
+}
+
+fn lines_of<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<u32> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn budget_fixture_flags_probes_and_ignores_decoys() {
+    let (diags, suppressed) = lint_fixture("budget.rs", "crates/fake/src/probe.rs");
+    assert_eq!(suppressed, 0);
+    let lines = lines_of(&diags, "budget-safety");
+    assert_eq!(lines.len(), 2, "exactly the two real probes: {diags:?}");
+    for d in diags.iter().filter(|d| d.rule == "budget-safety") {
+        assert!(
+            d.snippet.contains("engine.search(q)") || d.snippet.contains("Engine::search(q)"),
+            "unexpected site: {d:?}"
+        );
+    }
+    assert!(
+        diags.iter().all(|d| d.rule == "budget-safety"),
+        "no other rule should fire on this fixture: {diags:?}"
+    );
+}
+
+#[test]
+fn budget_fixture_is_silent_inside_the_interface_layer() {
+    for path in ["crates/hidden/src/interface.rs", "crates/cache/src/cached.rs"] {
+        let (diags, _) = lint_fixture("budget.rs", path);
+        assert!(
+            lines_of(&diags, "budget-safety").is_empty(),
+            "{path} is interface-layer — raw probes are its job: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_fixture_flags_rng_clock_and_hash_iteration() {
+    let (diags, _) = lint_fixture("determinism.rs", "crates/core/src/pool.rs");
+    let lines = lines_of(&diags, "determinism");
+    // thread_rng + Instant::now + SystemTime::now + for-loop + .values().
+    assert_eq!(lines.len(), 5, "{diags:?}");
+    let text = fixture("determinism.rs");
+    for (needle, what) in [
+        ("thread_rng", "OS-seeded RNG"),
+        ("Instant::now", "wall clock"),
+        ("for (k, v) in &self.by_id", "hash-order for loop"),
+        ("self.by_id.values()", "hash-order .values()"),
+    ] {
+        let line = text
+            .lines()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+            .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
+        assert!(lines.contains(&line), "{what} at line {line} not flagged: {diags:?}");
+    }
+}
+
+#[test]
+fn determinism_hash_iteration_is_scoped_to_ordered_output_paths() {
+    // Outside the ordered-output modules only the RNG/clock sub-check runs.
+    let (diags, _) = lint_fixture("determinism.rs", "crates/other/src/lib.rs");
+    assert_eq!(lines_of(&diags, "determinism").len(), 3, "{diags:?}");
+}
+
+#[test]
+fn panic_fixture_flags_each_panicking_construct_once() {
+    let (diags, _) = lint_fixture("panic.rs", "crates/fake/src/lib.rs");
+    let lines = lines_of(&diags, "panic-freedom");
+    // unwrap, expect, v[0], panic!, unreachable! — one line each.
+    assert_eq!(lines.len(), 5, "{diags:?}");
+    let text = fixture("panic.rs");
+    for needle in ["o.unwrap();", "o.expect(", "v[0]", "panic!(", "unreachable!()"] {
+        let line = text
+            .lines()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+            .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
+        assert!(lines.contains(&line), "`{needle}` at line {line} not flagged: {diags:?}");
+    }
+}
+
+#[test]
+fn panic_fixture_is_silent_in_test_files() {
+    let (diags, _) = lint_fixture("panic.rs", "crates/fake/tests/props.rs");
+    assert!(diags.is_empty(), "test files may panic freely: {diags:?}");
+}
+
+#[test]
+fn float_fixture_flags_division_and_casts_in_float_paths_only() {
+    let (diags, _) = lint_fixture("floats.rs", "crates/core/src/estimate.rs");
+    let lines = lines_of(&diags, "float-hygiene");
+    assert_eq!(lines.len(), 2, "division by `den` and `count as f64`: {diags:?}");
+    let (elsewhere, _) = lint_fixture("floats.rs", "crates/core/src/pool.rs");
+    assert!(
+        lines_of(&elsewhere, "float-hygiene").is_empty(),
+        "float-hygiene is scoped to the estimator kernels: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn suppression_fixture_absorbs_justified_sites_and_reports_the_rest() {
+    let (diags, suppressed) = lint_fixture("suppressed.rs", "crates/fake/src/lib.rs");
+    assert_eq!(suppressed, 2, "standalone + trailing directives: {diags:?}");
+    assert_eq!(
+        lines_of(&diags, "panic-freedom").len(),
+        2,
+        "unwraps under broken directives still count: {diags:?}"
+    );
+    assert_eq!(
+        lines_of(&diags, "bad-suppression").len(),
+        2,
+        "missing reason + unknown rule: {diags:?}"
+    );
+    assert_eq!(
+        lines_of(&diags, "unused-suppression").len(),
+        1,
+        "directive with nothing to suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn emitted_allowlist_round_trips_over_fixture_findings() {
+    let (diags, _) = lint_fixture("budget.rs", "crates/fake/src/probe.rs");
+    assert!(!diags.is_empty());
+    let text = allowlist::emit(&diags);
+    let list = allowlist::parse(&text);
+    assert!(list.errors.is_empty(), "emit must produce parseable entries: {:?}", list.errors);
+    assert_eq!(list.entries.len(), diags.len());
+    let mut meta = Vec::new();
+    let (kept, absorbed) = allowlist::apply(&list, "lint-allow.txt", diags, &mut meta);
+    assert!(kept.is_empty(), "every emitted entry absorbs its finding: {kept:?}");
+    assert_eq!(absorbed, list.entries.len());
+    assert!(meta.is_empty(), "round-trip leaves no stale entries: {meta:?}");
+}
+
+/// The real workspace, checked with the real checked-in allowlist, is
+/// clean — the same gate CI runs. A failure here means a new violation
+/// landed without a justification (or an allowlist entry went stale).
+#[test]
+fn workspace_is_clean() {
+    let root = match option_env!("CARGO_MANIFEST_DIR") {
+        Some(d) => Path::new(d).join("../.."),
+        None => PathBuf::from("."),
+    };
+    if !root.join("Cargo.toml").exists() {
+        // Relocated test binary with no workspace around it: nothing to check.
+        return;
+    }
+    let allow_path = root.join("lint-allow.txt");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text),
+        Err(_) => allowlist::Allowlist::default(),
+    };
+    let report = smartcrawl_lint::lint_workspace(
+        &root,
+        &Config::default(),
+        &allow,
+        "lint-allow.txt",
+    )
+    .expect("workspace walk failed");
+    assert!(
+        report.is_clean(),
+        "workspace has unjustified findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_checked > 100, "walk looks truncated: {}", report.files_checked);
+}

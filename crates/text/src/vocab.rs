@@ -63,6 +63,7 @@ impl Vocabulary {
         if let Some(&id) = self.ids.get(word) {
             return id;
         }
+        // lint:allow(panic-freedom) a vocabulary overflowing u32 (>4Gi distinct words) is unreachable for bounded corpora
         let id = TokenId(u32::try_from(self.words.len()).expect("vocabulary overflow"));
         self.ids.insert(word.to_owned(), id);
         self.words.push(word.to_owned());
@@ -79,6 +80,7 @@ impl Vocabulary {
     /// # Panics
     /// Panics if `id` was not produced by this vocabulary.
     pub fn word(&self, id: TokenId) -> &str {
+        // lint:allow(panic-freedom) documented contract above: `id` must come from this vocabulary
         &self.words[id.index()]
     }
 

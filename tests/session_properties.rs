@@ -111,6 +111,41 @@ fn run_approach<I: SearchInterface>(
 const APPROACHES: [&str; 7] =
     ["smart-b", "simple", "ideal", "naive", "full", "online", "populate"];
 
+/// The deterministic face of a report: everything except wall-clock
+/// timings, which legitimately differ between runs.
+fn fingerprint(r: &CrawlReport) -> String {
+    let steps: Vec<_> = r
+        .steps
+        .iter()
+        .map(|s| (s.keywords.clone(), s.returned.clone(), s.full_page))
+        .collect();
+    format!("{:?} {:?} {} {:?}", steps, r.enriched, r.records_removed, r.events)
+}
+
+/// Determinism audit: running any approach twice with the same seed and a
+/// fresh interface each time must reproduce the exact query sequence,
+/// enrichment pairs, and event tallies. This is what pins down iteration
+/// order — a `HashMap` leaking into query selection shows up here as a
+/// diverging step list.
+#[test]
+fn repeated_runs_with_the_same_seed_are_identical() {
+    for seed in [7u64, 42, 1009] {
+        let s = scenario(seed);
+        let budget = 18;
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let mut first = Metered::new(&s.hidden, Some(budget));
+            let a = run_approach(which, &s, budget, seed, &mut first, RetryPolicy::none());
+            let mut second = Metered::new(&s.hidden, Some(budget));
+            let b = run_approach(which, &s, budget, seed, &mut second, RetryPolicy::none());
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{name}: two runs with seed {seed} diverged"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
