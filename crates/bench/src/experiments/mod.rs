@@ -13,7 +13,7 @@ pub mod fig8;
 pub mod fig9;
 
 use crate::eval::Curve;
-use crate::harness::{run_approach, Approach, RunSpec};
+use crate::harness::{run_specs, Approach, RunSpec};
 use smartcrawl_data::Scenario;
 use smartcrawl_match::Matcher;
 
@@ -58,22 +58,17 @@ pub fn compare(
     matcher: Matcher,
 ) -> Vec<Curve> {
     let cks = checkpoints(budget);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = approaches
-            .iter()
-            .map(|&approach| {
-                let cks = cks.clone();
-                scope.spawn(move || {
-                    let mut spec = RunSpec::new(approach, budget);
-                    spec.checkpoints = cks;
-                    spec.theta = theta;
-                    spec.matcher = matcher;
-                    run_approach(scenario, &spec)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
-    })
+    let specs: Vec<RunSpec> = approaches
+        .iter()
+        .map(|&approach| {
+            let mut spec = RunSpec::new(approach, budget);
+            spec.checkpoints = cks.clone();
+            spec.theta = theta;
+            spec.matcher = matcher;
+            spec
+        })
+        .collect();
+    run_specs(scenario, &specs).into_iter().map(|o| o.curve).collect()
 }
 
 #[cfg(test)]

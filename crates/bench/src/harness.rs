@@ -118,6 +118,19 @@ pub fn run_approach(scenario: &Scenario, spec: &RunSpec) -> Curve {
     run_approach_report(scenario, spec).curve
 }
 
+/// Runs every spec against `scenario`, fanning the runs across the thread
+/// budget, and returns the outcomes in spec order.
+///
+/// This is the coarse-grained parallelism level: each run executes on one
+/// worker, and the fine-grained `par_*` calls inside pool generation and
+/// engine setup automatically degrade to sequential there (single-level
+/// fan-out), so a sweep never oversubscribes the machine. Runs are
+/// independent simulations, so the outcome vector is identical to running
+/// them sequentially.
+pub fn run_specs(scenario: &Scenario, specs: &[RunSpec]) -> Vec<RunOutcome> {
+    smartcrawl_par::par_map(specs, |spec| run_approach_report(scenario, spec))
+}
+
 /// [`run_approach`], also returning the raw crawl report.
 pub fn run_approach_report(scenario: &Scenario, spec: &RunSpec) -> RunOutcome {
     let mut iface = Metered::new(&scenario.hidden, Some(spec.budget));

@@ -94,4 +94,4 @@ pub use nch::fisher_nch_mean;
 pub use pool::{PoolConfig, PoolStats, QueryPool};
 pub use query::Query;
 pub use sample::SampleIndex;
-pub use select::{DeltaRemoval, SelectionStats, Strategy};
+pub use select::{probe_engine_setup, DeltaRemoval, SelectionStats, SetupProbe, Strategy};

@@ -24,6 +24,7 @@ use crate::local::LocalDb;
 use crate::query::Query;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
 use smartcrawl_fpm::{fpgrowth, MinerConfig};
+use smartcrawl_par::{par_chunks, par_map};
 use smartcrawl_index::QueryId;
 use smartcrawl_text::{RecordId, TokenId};
 use std::collections::{HashMap, HashSet};
@@ -99,27 +100,36 @@ impl QueryPool {
         // Dominance pruning via immediate supersets: support → set lookup.
         let support_of: HashMap<&[TokenId], usize> =
             mined.iter().map(|s| (s.items.as_slice(), s.support)).collect();
-        let mut dominated: HashSet<&[TokenId]> = HashSet::new();
-        for set in &mined {
-            if set.items.len() < 2 {
-                continue;
-            }
-            for drop in 0..set.items.len() {
-                let sub: Vec<TokenId> = set
-                    .items
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| i != drop)
-                    .map(|(_, &t)| t)
-                    .collect();
-                if support_of.get(sub.as_slice()) == Some(&set.support) {
-                    // `set` dominates `sub`: same |q(D)|, superset keywords.
-                    if let Some((key, _)) = support_of.get_key_value(sub.as_slice()) {
-                        dominated.insert(key);
+        // Probing is embarrassingly parallel: each mined set's immediate
+        // subsets are checked independently, and the result is merged into
+        // a set queried only via `contains`, so chunk order is immaterial.
+        // One scratch buffer per chunk replaces the per-(set, drop) Vec the
+        // sequential version allocated.
+        let dominated: HashSet<&[TokenId]> = par_chunks(&mined, |_, chunk| {
+            let mut sub: Vec<TokenId> = Vec::new();
+            let mut found: Vec<&[TokenId]> = Vec::new();
+            for set in chunk {
+                if set.items.len() < 2 {
+                    continue;
+                }
+                for drop in 0..set.items.len() {
+                    sub.clear();
+                    sub.extend(
+                        set.items.iter().enumerate().filter(|&(i, _)| i != drop).map(|(_, &t)| t),
+                    );
+                    if support_of.get(sub.as_slice()) == Some(&set.support) {
+                        // `set` dominates `sub`: same |q(D)|, superset keywords.
+                        if let Some((key, _)) = support_of.get_key_value(sub.as_slice()) {
+                            found.push(*key);
+                        }
                     }
                 }
             }
-        }
+            found
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
         let mut stats = PoolStats { mined: mined.len(), dominated: dominated.len(), ..Default::default() };
         let mut seen: HashSet<Vec<TokenId>> = HashSet::new();
@@ -152,9 +162,9 @@ impl QueryPool {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         queries.shuffle(&mut rng);
 
-        // -- Materialize q(D) per query. ------------------------------------
+        // -- Materialize q(D) per query (independent intersections). --------
         let matches: Vec<Vec<RecordId>> =
-            queries.iter().map(|q| local.index().matching(q.tokens())).collect();
+            par_map(&queries, |q| local.index().matching(q.tokens()));
         debug_assert!(matches.iter().all(|m| !m.is_empty()), "pool queries must have |q(D)| ≥ 1");
 
         Self { queries, matches, stats }

@@ -10,6 +10,7 @@ use crate::context::TextContext;
 use crate::local::LocalDb;
 use smartcrawl_index::InvertedIndex;
 use smartcrawl_match::{Matcher, PageIndex};
+use smartcrawl_par::par_map;
 use smartcrawl_sampler::HiddenSample;
 use smartcrawl_text::{Document, TokenId};
 
@@ -62,10 +63,9 @@ impl SampleIndex {
         if self.docs.is_empty() {
             return vec![false; local.len()];
         }
+        // Each local record probes the page index independently.
         let page = PageIndex::build(self.docs.clone());
-        (0..local.len())
-            .map(|i| page.find_match(local.doc(i), matcher).is_some())
-            .collect()
+        par_map(local.docs(), |d| page.find_match(d, matcher).is_some())
     }
 }
 

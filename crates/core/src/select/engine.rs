@@ -17,6 +17,7 @@ use crate::select::{DeltaRemoval, Strategy};
 use smartcrawl_hidden::{HiddenDb, Retrieved};
 use smartcrawl_index::{ForwardIndex, LazyQueue, QueryId};
 use smartcrawl_match::Matcher;
+use smartcrawl_par::{par_map, par_map_indexed};
 use smartcrawl_text::Document;
 
 /// Work counters for one crawl's selection machinery (paper Appendix B:
@@ -101,14 +102,14 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let n_queries = pool.len();
         let freq = pool.frequencies();
+        // Per-query sample statistics are independent lookups — the setup
+        // hot path on fig5-scale local databases.
         let freq_hs: Vec<u32> =
-            pool.queries().iter().map(|q| sample.frequency(q.tokens()) as u32).collect();
+            par_map(pool.queries(), |q| sample.frequency(q.tokens()) as u32);
         let sample_match = sample.local_matches(local, matcher);
-        let matched_cnt: Vec<u32> = pool
-            .all_matches()
-            .iter()
-            .map(|m| m.iter().filter(|rid| sample_match[rid.index()]).count() as u32)
-            .collect();
+        let matched_cnt: Vec<u32> = par_map(pool.all_matches(), |m| {
+            m.iter().filter(|rid| sample_match[rid.index()]).count() as u32
+        });
         let forward = ForwardIndex::build(local.len(), pool.all_matches());
         let estimator = match strategy {
             Strategy::Est { kind, .. } => Some(
@@ -122,15 +123,13 @@ impl<'a> Engine<'a> {
         // min(|q(D)|, k) and mark everything dirty: the lazy queue then
         // evaluates true benefits only for queries that ever look
         // promising (classic lazy-greedy).
-        let initial: Vec<f64> = (0..n_queries)
-            .map(|i| match strategy {
-                Strategy::Ideal => (freq[i] as usize).min(k) as f64,
-                Strategy::Simple | Strategy::Bound => freq[i] as f64,
-                Strategy::Est { .. } => estimator
-                    .expect("estimator exists for Est")
-                    .benefit(freq[i] as usize, freq_hs[i] as usize, matched_cnt[i] as usize),
-            })
-            .collect();
+        let initial: Vec<f64> = par_map_indexed(&freq, |i, &f| match strategy {
+            Strategy::Ideal => (f as usize).min(k) as f64,
+            Strategy::Simple | Strategy::Bound => f as f64,
+            Strategy::Est { .. } => estimator
+                .expect("estimator exists for Est")
+                .benefit(f as usize, freq_hs[i] as usize, matched_cnt[i] as usize),
+        });
         let mut queue = LazyQueue::new(&initial);
         if matches!(strategy, Strategy::Ideal) {
             assert!(oracle.is_some(), "QSel-Ideal requires oracle access");
@@ -327,19 +326,12 @@ impl<'a> Engine<'a> {
     /// Only meaningful for [`Strategy::Est`]; a no-op otherwise.
     pub(crate) fn refresh_sample(&mut self, sample: &SampleIndex) {
         let Some(old) = self.estimator else { return };
-        for (i, q) in self.pool.queries().iter().enumerate() {
-            self.freq_hs[i] = sample.frequency(q.tokens()) as u32;
-        }
+        self.freq_hs = par_map(self.pool.queries(), |q| sample.frequency(q.tokens()) as u32);
         self.sample_match = sample.local_matches(self.local, self.matcher);
-        for i in 0..self.pool.len() {
-            let qid = QueryId(i as u32);
-            self.matched_cnt[i] = self
-                .pool
-                .matches(qid)
-                .iter()
-                .filter(|rid| self.live[rid.index()] && self.sample_match[rid.index()])
-                .count() as u32;
-        }
+        let (live, sample_match) = (&self.live, &self.sample_match);
+        self.matched_cnt = par_map(self.pool.all_matches(), |m| {
+            m.iter().filter(|rid| live[rid.index()] && sample_match[rid.index()]).count() as u32
+        });
         let estimator =
             Estimator::new(old.kind(), self.k, sample.theta(), self.local.len(), sample.len())
                 .with_omega(old.omega());
@@ -433,6 +425,81 @@ impl<'a> Engine<'a> {
             }
         }
     }
+}
+
+/// A fingerprint of a fully-assembled selection engine's initial state.
+///
+/// Built by [`probe_engine_setup`] so out-of-crate callers (the perf
+/// benchmark, the determinism property tests) can both *time* engine
+/// assembly and *assert* that two assemblies — e.g. at different
+/// `SMARTCRAWL_THREADS` — produced identical selection state, without the
+/// engine itself becoming public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetupProbe {
+    /// Pool size `|Q|`.
+    pub pool_len: usize,
+    /// Pool-generation provenance counters.
+    pub pool_stats: crate::pool::PoolStats,
+    /// FNV-1a digest over the engine's initial selection state: every pool
+    /// query's tokens, its `q(D)` match set, and the `freq` / `freq_hs` /
+    /// `matched_cnt` / `sample_match` vectors.
+    pub digest: u64,
+}
+
+/// Assembles a selection engine exactly as the crawlers do and returns a
+/// [`SetupProbe`] of its initial state (see there). Supports every
+/// strategy except [`Strategy::Ideal`], which needs oracle access.
+#[allow(clippy::too_many_arguments)] // mirrors Engine::new, assembled once per probe
+pub fn probe_engine_setup(
+    local: &LocalDb,
+    sample: &SampleIndex,
+    pool: QueryPool,
+    strategy: Strategy,
+    matcher: Matcher,
+    k: usize,
+    omega: f64,
+    ctx: TextContext,
+) -> SetupProbe {
+    assert!(
+        !matches!(strategy, Strategy::Ideal),
+        "probe_engine_setup does not support QSel-Ideal (it requires an oracle)"
+    );
+    let pool_stats = pool.stats();
+    let e = Engine::new(local, sample, pool, strategy, matcher, k, omega, None, ctx);
+
+    // FNV-1a over little-endian words: not cryptographic, just a stable
+    // order-sensitive fold so any divergence in the state vectors flips it.
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            digest = (digest ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for q in e.pool.queries() {
+        fold(q.tokens().len() as u64);
+        for &t in q.tokens() {
+            fold(u64::from(t.0));
+        }
+    }
+    for m in e.pool.all_matches() {
+        fold(m.len() as u64);
+        for &rid in m {
+            fold(u64::from(rid.0));
+        }
+    }
+    for &f in &e.freq {
+        fold(u64::from(f));
+    }
+    for &f in &e.freq_hs {
+        fold(u64::from(f));
+    }
+    for &c in &e.matched_cnt {
+        fold(u64::from(c));
+    }
+    for &b in &e.sample_match {
+        fold(u64::from(b));
+    }
+    SetupProbe { pool_len: e.pool.len(), pool_stats, digest }
 }
 
 #[cfg(test)]
@@ -622,6 +689,50 @@ mod tests {
         let before = e.freq_hs.clone();
         e.refresh_sample(&SampleIndex::empty());
         assert_eq!(e.freq_hs, before);
+    }
+
+    #[test]
+    fn setup_probe_is_thread_count_invariant() {
+        let probe_at = |threads: usize| {
+            smartcrawl_par::with_threads(threads, || {
+                let (ctx, local, _) = fixture();
+                let pool = QueryPool::generate(
+                    &local,
+                    &PoolConfig { min_support: 2, max_len: 2, seed: 7 },
+                );
+                probe_engine_setup(
+                    &local,
+                    &SampleIndex::empty(),
+                    pool,
+                    Strategy::est_biased(),
+                    Matcher::Exact,
+                    2,
+                    1.0,
+                    ctx,
+                )
+            })
+        };
+        let one = probe_at(1);
+        assert!(one.pool_len > 0);
+        assert_eq!(one, probe_at(2));
+        assert_eq!(one, probe_at(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "QSel-Ideal")]
+    fn setup_probe_rejects_ideal() {
+        let (ctx, local, _) = fixture();
+        let pool = QueryPool::generate(&local, &PoolConfig::default());
+        probe_engine_setup(
+            &local,
+            &SampleIndex::empty(),
+            pool,
+            Strategy::Ideal,
+            Matcher::Exact,
+            2,
+            1.0,
+            ctx,
+        );
     }
 
     #[test]

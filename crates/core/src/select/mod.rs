@@ -19,7 +19,7 @@
 
 pub mod engine;
 
-pub use engine::SelectionStats;
+pub use engine::{probe_engine_setup, SelectionStats, SetupProbe};
 
 use crate::estimate::EstimatorKind;
 

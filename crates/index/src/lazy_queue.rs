@@ -58,13 +58,23 @@ pub struct LazyQueue {
 impl LazyQueue {
     /// Builds a queue over queries `0..priorities.len()` with the given
     /// initial priorities.
+    ///
+    /// Heapified in O(n) from the collected entries rather than pushed one
+    /// by one (O(n log n)). The pop sequence is unaffected: `Entry`'s
+    /// ordering is total (`total_cmp` plus the id tie-break) and every
+    /// entry is distinct, so any valid heap over the same set pops
+    /// identically.
     pub fn new(priorities: &[f64]) -> Self {
         let n = priorities.len();
-        let mut heap = BinaryHeap::with_capacity(n);
-        for (q, &p) in priorities.iter().enumerate() {
-            assert!(!p.is_nan(), "priority must not be NaN");
-            heap.push(Entry { priority: p, query: QueryId(q as u32), version: 0 });
-        }
+        let entries: Vec<Entry> = priorities
+            .iter()
+            .enumerate()
+            .map(|(q, &p)| {
+                assert!(!p.is_nan(), "priority must not be NaN");
+                Entry { priority: p, query: QueryId(q as u32), version: 0 }
+            })
+            .collect();
+        let heap = BinaryHeap::from(entries);
         Self {
             heap,
             version: vec![0; n],

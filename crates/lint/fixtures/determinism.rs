@@ -11,6 +11,12 @@ fn nondeterministic_sources() -> u64 {
     rng.gen()
 }
 
+fn rogue_fanout() {
+    let handle = std::thread::spawn(|| work()); // finding: raw thread spawn
+    std::thread::scope(|s| s.spawn(|| work())); // finding: raw thread scope
+    let _cores = std::thread::available_parallelism(); // non-spawning: silent
+}
+
 struct Registry {
     by_id: HashMap<u64, String>,
 }
@@ -32,6 +38,8 @@ impl Registry {
 fn decoys() {
     let _s = "thread_rng() and Instant::now() inside a string"; // silent
     // thread_rng() in a comment: silent
+    // std::thread::spawn in a comment: silent
+    let _t = "thread::scope inside a string"; // silent
     let seeded = StdRng::seed_from_u64(42); // seeded RNG: silent
 }
 

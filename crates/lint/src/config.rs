@@ -14,6 +14,11 @@ pub struct Config {
     pub ordered_output_paths: Vec<String>,
     /// Files holding the floating-point estimator kernels.
     pub float_paths: Vec<String>,
+    /// Path prefixes allowed to spawn raw threads — the deterministic
+    /// parallel runtime. Everywhere else, fan-out must go through
+    /// `smartcrawl-par` so chunking and merge order stay thread-count
+    /// independent.
+    pub thread_runtime_paths: Vec<String>,
     /// Run only these rules (`None` = all).
     pub only_rules: Option<Vec<String>>,
 }
@@ -39,6 +44,7 @@ impl Default for Config {
                 "crates/core/src/estimate.rs".into(),
                 "crates/core/src/nch.rs".into(),
             ],
+            thread_runtime_paths: vec!["crates/par/".into()],
             only_rules: None,
         }
     }

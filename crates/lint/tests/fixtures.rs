@@ -65,12 +65,15 @@ fn budget_fixture_is_silent_inside_the_interface_layer() {
 fn determinism_fixture_flags_rng_clock_and_hash_iteration() {
     let (diags, _) = lint_fixture("determinism.rs", "crates/core/src/pool.rs");
     let lines = lines_of(&diags, "determinism");
-    // thread_rng + Instant::now + SystemTime::now + for-loop + .values().
-    assert_eq!(lines.len(), 5, "{diags:?}");
+    // thread_rng + Instant::now + SystemTime::now + thread::spawn +
+    // thread::scope + for-loop + .values().
+    assert_eq!(lines.len(), 7, "{diags:?}");
     let text = fixture("determinism.rs");
     for (needle, what) in [
         ("thread_rng", "OS-seeded RNG"),
         ("Instant::now", "wall clock"),
+        ("std::thread::spawn", "raw thread spawn"),
+        ("std::thread::scope", "raw thread scope"),
         ("for (k, v) in &self.by_id", "hash-order for loop"),
         ("self.by_id.values()", "hash-order .values()"),
     ] {
@@ -85,8 +88,17 @@ fn determinism_fixture_flags_rng_clock_and_hash_iteration() {
 
 #[test]
 fn determinism_hash_iteration_is_scoped_to_ordered_output_paths() {
-    // Outside the ordered-output modules only the RNG/clock sub-check runs.
+    // Outside the ordered-output modules only the RNG/clock/thread
+    // sub-check runs.
     let (diags, _) = lint_fixture("determinism.rs", "crates/other/src/lib.rs");
+    assert_eq!(lines_of(&diags, "determinism").len(), 5, "{diags:?}");
+}
+
+#[test]
+fn determinism_thread_fanout_is_exempt_inside_the_parallel_runtime() {
+    // The same fixture linted as if it lived in crates/par: the two raw
+    // thread findings disappear, the RNG/clock ones remain.
+    let (diags, _) = lint_fixture("determinism.rs", "crates/par/src/runtime.rs");
     assert_eq!(lines_of(&diags, "determinism").len(), 3, "{diags:?}");
 }
 

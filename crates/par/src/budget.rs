@@ -1,0 +1,120 @@
+//! The thread budget: how many worker threads `par_*` calls may use.
+//!
+//! Read once from the environment (`SMARTCRAWL_THREADS`, default: the
+//! machine's available parallelism) and cached for the process lifetime,
+//! PoolConfig-style: a plain value fixed at startup, not a knob that
+//! drifts mid-run. [`with_threads`] installs a scoped override on the
+//! calling thread so benchmarks and property tests can sweep thread
+//! counts within one process without touching the environment.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Upper bound on the thread budget — a guard against a typo'd
+/// `SMARTCRAWL_THREADS=10000`, far above any real machine this runs on.
+pub const MAX_THREADS: usize = 256;
+
+/// A resolved worker-thread count, always in `1..=MAX_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBudget {
+    threads: usize,
+}
+
+impl ThreadBudget {
+    /// Resolves the budget from the environment: `SMARTCRAWL_THREADS` if
+    /// set to a positive integer, otherwise the machine's available
+    /// parallelism (1 if that cannot be determined).
+    pub fn from_env() -> Self {
+        let configured = std::env::var("SMARTCRAWL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        let threads = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        });
+        Self::fixed(threads)
+    }
+
+    /// A fixed budget, clamped into `1..=MAX_THREADS`.
+    pub fn fixed(threads: usize) -> Self {
+        Self { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// The number of worker threads.
+    pub fn get(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The process-wide env-derived budget, resolved on first use.
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| ThreadBudget::from_env().get())
+}
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`] (calling thread only).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside `par_*` worker threads: nested calls run sequentially.
+    pub(crate) static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with the thread budget overridden to `threads` on the calling
+/// thread. Nestable; the previous override (or the env default) is
+/// restored on exit, including on panic.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(Some(ThreadBudget::fixed(threads).get())));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The thread budget in effect on the calling thread: the innermost
+/// [`with_threads`] override if any, else the env-derived default.
+pub fn current_threads() -> usize {
+    OVERRIDE.with(|c| c.get()).unwrap_or_else(env_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_clamps_into_range() {
+        assert_eq!(ThreadBudget::fixed(0).get(), 1);
+        assert_eq!(ThreadBudget::fixed(4).get(), 4);
+        assert_eq!(ThreadBudget::fixed(1_000_000).get(), MAX_THREADS);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(7, || assert_eq!(current_threads(), 7));
+            assert_eq!(current_threads(), 3, "inner override must unwind");
+        });
+        assert_eq!(current_threads(), outside);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let outside = current_threads();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(5, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), outside);
+    }
+
+    #[test]
+    fn override_is_clamped() {
+        with_threads(0, || assert_eq!(current_threads(), 1));
+        with_threads(usize::MAX, || assert_eq!(current_threads(), MAX_THREADS));
+    }
+}

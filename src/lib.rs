@@ -18,6 +18,7 @@
 //! | [`sampler`] | `smartcrawl-sampler` | deep-web samplers (oracle + pool-based) |
 //! | [`matching`] | `smartcrawl-match` | entity resolution (exact, Jaccard join) |
 //! | [`data`] | `smartcrawl-data` | synthetic DBLP-like / Yelp-like workloads |
+//! | [`par`] | `smartcrawl-par` | deterministic data-parallel runtime (fixed chunking, `SMARTCRAWL_THREADS`) |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and the
 //! `smartcrawl-bench` crate for the harness that regenerates every figure
@@ -32,6 +33,7 @@ pub use smartcrawl_fpm as fpm;
 pub use smartcrawl_hidden as hidden;
 pub use smartcrawl_index as index;
 pub use smartcrawl_match as matching;
+pub use smartcrawl_par as par;
 pub use smartcrawl_sampler as sampler;
 pub use smartcrawl_text as text;
 

@@ -1,0 +1,141 @@
+//! Cross-crate determinism properties for the parallel runtime: the query
+//! pool, the selection-engine setup, and every crawling approach must be
+//! byte-identical at thread counts 1, 2, and 8. This is the workspace's
+//! contract with `smartcrawl-par` — fixed chunking plus in-order merging
+//! means the thread budget is performance-only, never results-visible.
+
+use deeper::core::{probe_engine_setup, SampleIndex, SetupProbe};
+use deeper::data::{Scenario, ScenarioConfig};
+use deeper::par::with_threads;
+use deeper::{bernoulli_sample, LocalDb, Matcher, PoolConfig, QueryPool, Strategy, TextContext};
+use proptest::prelude::*;
+use smartcrawl_bench::harness::{run_specs, Approach, RunSpec};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+const ALL_APPROACHES: [Approach; 7] = [
+    Approach::Ideal,
+    Approach::SmartB,
+    Approach::SmartU,
+    Approach::Simple,
+    Approach::Bound,
+    Approach::Naive,
+    Approach::Full,
+];
+
+fn scenario(seed: u64) -> Scenario {
+    let mut cfg = ScenarioConfig::tiny(seed);
+    cfg.hidden_size = 300;
+    cfg.local_size = 40;
+    cfg.delta_d = 4;
+    cfg.k = 5;
+    Scenario::build(cfg)
+}
+
+/// The pool's full observable state, rendered for equality checks.
+fn pool_face(s: &Scenario, pool_seed: u64) -> String {
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(s.local.clone(), &mut ctx);
+    let pool = QueryPool::generate(&local, &PoolConfig { seed: pool_seed, ..Default::default() });
+    format!("{:?} {:?} {:?}", pool.queries(), pool.all_matches(), pool.stats())
+}
+
+fn setup_probe(s: &Scenario, seed: u64, strategy: Strategy) -> SetupProbe {
+    let mut ctx = TextContext::new();
+    let local = LocalDb::build(s.local.clone(), &mut ctx);
+    let sample = bernoulli_sample(&s.hidden, 0.1, seed);
+    let sample_index = SampleIndex::build(&sample, &mut ctx);
+    let pool = QueryPool::generate(&local, &PoolConfig::default());
+    probe_engine_setup(&local, &sample_index, pool, strategy, Matcher::Exact, 5, 1.0, ctx)
+}
+
+/// A sweep of all seven approaches through the parallel harness fan-out,
+/// rendered without wall-clock timings.
+fn sweep_face(s: &Scenario, budget: usize) -> String {
+    let specs: Vec<RunSpec> = ALL_APPROACHES
+        .iter()
+        .map(|&a| {
+            let mut spec = RunSpec::new(a, budget);
+            spec.theta = 0.1;
+            spec
+        })
+        .collect();
+    run_specs(s, &specs)
+        .iter()
+        .map(|o| {
+            let steps: Vec<_> = o
+                .report
+                .steps
+                .iter()
+                .map(|st| (st.keywords.clone(), st.returned.clone(), st.full_page))
+                .collect();
+            format!(
+                "{:?}|{:?}|{:?}|{}|{:?};",
+                o.curve.budgets, o.curve.covered, steps, o.report.records_removed,
+                o.report.events
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn pool_generation_is_thread_count_invariant() {
+    for seed in [3u64, 77] {
+        let s = scenario(seed);
+        let reference = with_threads(1, || pool_face(&s, 0x5A17));
+        for threads in THREAD_COUNTS {
+            let face = with_threads(threads, || pool_face(&s, 0x5A17));
+            assert_eq!(reference, face, "pool diverged at {threads} threads, seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn engine_setup_is_thread_count_invariant_for_every_strategy() {
+    let s = scenario(11);
+    for strategy in [
+        Strategy::Simple,
+        Strategy::Bound,
+        Strategy::est_biased(),
+        Strategy::est_unbiased(),
+    ] {
+        let reference = with_threads(1, || setup_probe(&s, 11, strategy));
+        for threads in THREAD_COUNTS {
+            let probe = with_threads(threads, || setup_probe(&s, 11, strategy));
+            assert_eq!(
+                reference, probe,
+                "engine setup diverged at {threads} threads for {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_seven_approaches_are_thread_count_invariant() {
+    let s = scenario(29);
+    let budget = 15;
+    let reference = with_threads(1, || sweep_face(&s, budget));
+    for threads in THREAD_COUNTS {
+        let face = with_threads(threads, || sweep_face(&s, budget));
+        assert_eq!(reference, face, "an approach diverged at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random scenarios and budgets: the full sweep stays byte-identical
+    /// across thread counts.
+    #[test]
+    fn sweeps_are_thread_count_invariant(seed in 0u64..200, budget in 1usize..20) {
+        let s = scenario(seed);
+        let reference = with_threads(1, || sweep_face(&s, budget));
+        for threads in [2usize, 8] {
+            let face = with_threads(threads, || sweep_face(&s, budget));
+            prop_assert_eq!(
+                &reference, &face,
+                "sweep diverged at {} threads (seed {}, budget {})", threads, seed, budget
+            );
+        }
+    }
+}

@@ -146,6 +146,33 @@ fn repeated_runs_with_the_same_seed_are_identical() {
     }
 }
 
+/// Thread-budget audit: the parallel runtime must be results-invisible.
+/// Every approach, run through a fresh metered interface at 1 and 4
+/// threads, produces the same fingerprint. (tests/par_properties.rs
+/// covers the pool and engine internals; this pins the session layer.)
+#[test]
+fn every_approach_is_identical_across_thread_counts() {
+    for seed in [7u64, 42] {
+        let s = scenario(seed);
+        let budget = 18;
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let sequential = deeper::par::with_threads(1, || {
+                let mut iface = Metered::new(&s.hidden, Some(budget));
+                run_approach(which, &s, budget, seed, &mut iface, RetryPolicy::none())
+            });
+            let parallel = deeper::par::with_threads(4, || {
+                let mut iface = Metered::new(&s.hidden, Some(budget));
+                run_approach(which, &s, budget, seed, &mut iface, RetryPolicy::none())
+            });
+            assert_eq!(
+                fingerprint(&sequential),
+                fingerprint(&parallel),
+                "{name}: 1-thread and 4-thread runs diverged at seed {seed}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
