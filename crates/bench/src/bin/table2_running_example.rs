@@ -78,7 +78,7 @@ fn main() {
         let truth = page
             .iter()
             .filter(|r| {
-                let rdoc = ctx.doc_of_fields(&r.fields);
+                let rdoc = ctx.doc_of_fields(&r.fields[..]);
                 (0..local.len()).any(|i| local.doc(i) == &rdoc)
             })
             .count();

@@ -197,14 +197,14 @@ mod tests {
             smartcrawl_core::crawl::EnrichedPair {
                 local: 0,
                 external: correct_ext,
-                payload: vec![],
-                hidden_fields: vec![],
+                payload: Vec::new().into(),
+                hidden_fields: Vec::new().into(),
             },
             smartcrawl_core::crawl::EnrichedPair {
                 local: 1,
                 external: wrong_ext,
-                payload: vec![],
-                hidden_fields: vec![],
+                payload: Vec::new().into(),
+                hidden_fields: Vec::new().into(),
             },
         ];
         assert!((enrichment_precision(&report, &s.truth) - 0.5).abs() < 1e-12);

@@ -77,6 +77,8 @@ impl<I: SearchInterface> SearchInterface for CachedInterface<'_, I> {
         let key = canonical_query_key(keywords);
         if let Some(page) = self.cache.peek(&key) {
             let results = page.records.len();
+            // Records are Arc-backed: this clone (and the insert below) is
+            // refcount bumps per record, not a deep copy of every cell.
             let page = page.clone();
             // Settle the hit's cost before committing it: in charged-hits
             // mode an exhausted meter denies the hit altogether.

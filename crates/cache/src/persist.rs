@@ -74,7 +74,7 @@ pub fn save_cache(path: impl AsRef<Path>, cache: &QueryCache) -> std::io::Result
         }
         for r in &page.records {
             write!(f, "\t{}\t{}\t{}", r.external_id.0, r.fields.len(), r.payload.len())?;
-            for cell in r.fields.iter().chain(&r.payload) {
+            for cell in r.fields.iter().chain(r.payload.iter()) {
                 write!(f, "\t{}", escape(cell))?;
             }
         }
@@ -136,7 +136,7 @@ pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Resul
                 texts.push(take(&mut cursor, &cells)?);
             }
             let payload = texts.split_off(nf);
-            records.push(Retrieved { external_id: ExternalId(id), fields: texts, payload });
+            records.push(Retrieved::new(ExternalId(id), texts, payload));
         }
         if cursor != cells.len() {
             return Err(bad("entry arity mismatch"));
@@ -165,10 +165,12 @@ mod tests {
             records: texts
                 .iter()
                 .enumerate()
-                .map(|(i, t)| Retrieved {
-                    external_id: ExternalId(i as u64 + 10),
-                    fields: vec![(*t).to_owned(), "tab\there".into()],
-                    payload: vec!["4.5".into()],
+                .map(|(i, t)| {
+                    Retrieved::new(
+                        ExternalId(i as u64 + 10),
+                        vec![(*t).to_owned(), "tab\there".into()],
+                        vec!["4.5".into()],
+                    )
                 })
                 .collect(),
         }

@@ -131,7 +131,9 @@ impl QueryCache {
     }
 
     /// Counting lookup: a hit promotes the entry and returns a clone of
-    /// the page; a miss is tallied and returns `None`.
+    /// the page; a miss is tallied and returns `None`. Page records are
+    /// `Arc`-backed, so the clone is per-record refcount bumps, not a deep
+    /// copy of the cell strings.
     pub fn get(&mut self, key: &[String]) -> Option<SearchPage> {
         let Some(&i) = self.map.get(key) else {
             self.note_miss();
@@ -258,11 +260,7 @@ mod tests {
     fn page(n: usize) -> SearchPage {
         SearchPage {
             records: (0..n)
-                .map(|i| Retrieved {
-                    external_id: ExternalId(i as u64),
-                    fields: vec![format!("f{i}")],
-                    payload: vec![],
-                })
+                .map(|i| Retrieved::new(ExternalId(i as u64), vec![format!("f{i}")], vec![]))
                 .collect(),
         }
     }

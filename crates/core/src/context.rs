@@ -8,7 +8,10 @@
 //! `D` (which must *not* be dropped — an extra unseen keyword changes both
 //! exact equality and Jaccard similarity).
 
+use smartcrawl_hidden::{ExternalId, Retrieved};
 use smartcrawl_text::{Document, Tokenizer, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tokenizer + vocabulary shared by everything in one crawl.
 #[derive(Debug, Default)]
@@ -17,6 +20,13 @@ pub struct TextContext {
     pub tokenizer: Tokenizer,
     /// The crawl-wide vocabulary.
     pub vocab: Vocabulary,
+    /// Memoized documents of retrieved hidden records, keyed by external
+    /// id. A record's cells never change within a crawl and vocabulary
+    /// interning is append-only, so tokenizing it once is enough; top-k
+    /// pages re-surface the same popular records constantly, which makes
+    /// this the hottest cache in the crawl loop. Never iterated, so the
+    /// map's ordering cannot leak into results.
+    page_docs: HashMap<ExternalId, Arc<Document>>,
 }
 
 impl TextContext {
@@ -33,6 +43,18 @@ impl TextContext {
     /// Tokenizes a multi-field record into the shared vocabulary.
     pub fn doc_of_fields<S: AsRef<str>>(&mut self, fields: &[S]) -> Document {
         self.tokenizer.tokenize_fields(fields, &mut self.vocab)
+    }
+
+    /// The document of a retrieved hidden record, tokenized at most once
+    /// per crawl (subsequent appearances of the same record are a map
+    /// lookup plus a refcount bump).
+    pub fn doc_of_retrieved(&mut self, r: &Retrieved) -> Arc<Document> {
+        if let Some(d) = self.page_docs.get(&r.external_id) {
+            return Arc::clone(d);
+        }
+        let d = Arc::new(self.tokenizer.tokenize_fields(&r.fields[..], &mut self.vocab));
+        self.page_docs.insert(r.external_id, Arc::clone(&d));
+        d
     }
 }
 
@@ -56,5 +78,18 @@ mod tests {
         let mut ctx = TextContext::new();
         let d = ctx.doc_of_fields(&["thai house", "phoenix"]);
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn doc_of_retrieved_memoizes_per_external_id() {
+        let mut ctx = TextContext::new();
+        let r = Retrieved::new(ExternalId(7), vec!["thai noodle house".into()], vec![]);
+        let a = ctx.doc_of_retrieved(&r);
+        let b = ctx.doc_of_retrieved(&r);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the memoized doc");
+        assert_eq!(*a, ctx.doc_of_fields(&["thai noodle house"]));
+        // A different record still tokenizes fresh.
+        let other = Retrieved::new(ExternalId(8), vec!["noodle bar".into()], vec![]);
+        assert_eq!(ctx.doc_of_retrieved(&other).len(), 2);
     }
 }

@@ -40,7 +40,7 @@ pub fn suggest_corrections(
     let mut out = Vec::new();
     for pair in &report.enriched {
         let local_doc = local.doc(pair.local).clone();
-        let hidden_doc = ctx.doc_of_fields(&pair.hidden_fields);
+        let hidden_doc = ctx.doc_of_fields(&pair.hidden_fields[..]);
         if local_doc == hidden_doc {
             continue;
         }

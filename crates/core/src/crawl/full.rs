@@ -67,6 +67,10 @@ impl QuerySource for FullSource<'_> {
             removed: 0,
         }
     }
+
+    fn selection_stats(&self) -> crate::select::engine::SelectionStats {
+        self.matches.stats()
+    }
 }
 
 /// Runs FullCrawl: issues the sample's keywords, most-frequent first,

@@ -50,6 +50,7 @@ pub use smart::{
 };
 
 use smartcrawl_hidden::ExternalId;
+use std::sync::Arc;
 
 /// One issued query and what came back.
 #[derive(Debug, Clone)]
@@ -70,11 +71,14 @@ pub struct EnrichedPair {
     pub local: usize,
     /// Matching hidden record.
     pub external: ExternalId,
-    /// The hidden record's enrichment attributes.
-    pub payload: Vec<String>,
-    /// The hidden record's indexed fields, as returned — kept so fuzzy
-    /// matches can drive error detection (see [`suggest_corrections`]).
-    pub hidden_fields: Vec<String>,
+    /// The hidden record's enrichment attributes. Shared with the
+    /// [`Retrieved`](smartcrawl_hidden::Retrieved) view it came from, so
+    /// keeping an enrichment pair costs a refcount, not a cell copy.
+    pub payload: Arc<[String]>,
+    /// The hidden record's indexed fields, as returned (shared like
+    /// `payload`) — kept so fuzzy matches can drive error detection (see
+    /// [`suggest_corrections`]).
+    pub hidden_fields: Arc<[String]>,
 }
 
 /// Everything a crawler did with its budget.

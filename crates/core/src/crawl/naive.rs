@@ -52,6 +52,10 @@ impl QuerySource for NaiveSource<'_> {
             removed: 0,
         }
     }
+
+    fn selection_stats(&self) -> crate::select::engine::SelectionStats {
+        self.matches.stats()
+    }
 }
 
 /// Runs NaiveCrawl with the given budget: for each local record (random

@@ -274,21 +274,32 @@ impl CrawlSession {
 
 /// Shared page-to-`D` matching with covered-record deduplication — the
 /// bookkeeping NaiveCrawl and FullCrawl previously each reimplemented.
+/// Page docs are memoized in the [`TextContext`](crate::context::TextContext)
+/// and the matcher never restricts liveness (these crawlers keep all of `D`
+/// in play), so no all-true mask is materialized.
 pub(crate) struct PageMatcher<'a> {
     index: LocalMatchIndex<'a>,
-    mask: Vec<bool>,
     covered: Vec<bool>,
     matcher: Matcher,
+    /// Page-match wall time, surfaced through the sources'
+    /// [`QuerySource::selection_stats`] so every approach reports the same
+    /// per-phase profile.
+    stats: SelectionStats,
 }
 
 impl<'a> PageMatcher<'a> {
     pub(crate) fn new(local: &'a LocalDb, matcher: Matcher) -> Self {
         Self {
             index: LocalMatchIndex::build(local),
-            mask: vec![true; local.len()],
             covered: vec![false; local.len()],
             matcher,
+            stats: SelectionStats::default(),
         }
+    }
+
+    /// Work counters accumulated so far (page-match time only).
+    pub(crate) fn stats(&self) -> SelectionStats {
+        self.stats
     }
 
     /// Matches a page against `D`, asserting each local record's first
@@ -298,10 +309,11 @@ impl<'a> PageMatcher<'a> {
         page: &[Retrieved],
         ctx: &mut crate::context::TextContext,
     ) -> Vec<EnrichedPair> {
+        let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let mut pairs = Vec::new();
         for r in page {
-            let rdoc = ctx.doc_of_fields(&r.fields);
-            for d in self.index.find_matches(&rdoc, self.matcher, &self.mask) {
+            let rdoc = ctx.doc_of_retrieved(r);
+            for d in self.index.find_matches(&rdoc, self.matcher, None) {
                 if !self.covered[d] {
                     self.covered[d] = true;
                     pairs.push(EnrichedPair {
@@ -313,6 +325,7 @@ impl<'a> PageMatcher<'a> {
                 }
             }
         }
+        self.stats.page_match_ns += t.elapsed().as_nanos() as u64;
         pairs
     }
 }

@@ -65,11 +65,7 @@ fn sample() -> HiddenSample {
         records: fields
             .iter()
             .enumerate()
-            .map(|(i, &f)| Retrieved {
-                external_id: ExternalId([2u64, 4, 5][i]),
-                fields: vec![f.to_owned()],
-                payload: vec![],
-            })
+            .map(|(i, &f)| Retrieved::new(ExternalId([2u64, 4, 5][i]), vec![f.to_owned()], vec![]))
             .collect(),
         theta: THETA,
     }
@@ -145,7 +141,7 @@ fn true_benefits_by_hand() {
         let mut covered: Vec<usize> = page
             .iter()
             .filter_map(|r| {
-                let rdoc = ctx.doc_of_fields(&r.fields);
+                let rdoc = ctx.doc_of_fields(&r.fields[..]);
                 (0..local.len()).find(|&i| local.doc(i) == &rdoc)
             })
             .collect();

@@ -82,15 +82,25 @@ impl<'a> LocalMatchIndex<'a> {
     }
 
     /// Local record positions matching hidden document `h` under `matcher`,
-    /// restricted to records where `live[i]` (pass all-true for no
-    /// restriction). Sorted ascending.
-    pub fn find_matches(&self, h: &Document, matcher: Matcher, live: &[bool]) -> Vec<usize> {
+    /// restricted to records where `live[i]`. Pass `None` for no
+    /// restriction — unlike an all-true slice, that costs nothing to
+    /// construct, which matters for oracle evaluations that call this once
+    /// per pool query. Sorted ascending.
+    pub fn find_matches(
+        &self,
+        h: &Document,
+        matcher: Matcher,
+        live: Option<&[bool]>,
+    ) -> Vec<usize> {
         match matcher {
             Matcher::Exact => self
                 .by_doc
                 .get(h)
                 .map(|v| {
-                    v.iter().map(|&i| i as usize).filter(|&i| live[i]).collect()
+                    v.iter()
+                        .map(|&i| i as usize)
+                        .filter(|&i| live.is_none_or(|l| l[i]))
+                        .collect()
                 })
                 .unwrap_or_default(),
             Matcher::Jaccard { threshold } => {
@@ -113,7 +123,7 @@ impl<'a> LocalMatchIndex<'a> {
                 candidates
                     .into_iter()
                     .map(|i| i as usize)
-                    .filter(|&i| live[i])
+                    .filter(|&i| live.is_none_or(|l| l[i]))
                     .filter(|&i| jaccard(&self.db.docs[i], h) >= threshold)
                     .collect()
             }
@@ -152,8 +162,11 @@ mod tests {
         let (db, mut ctx) = setup();
         let m = LocalMatchIndex::build(&db);
         let h = ctx.doc("thai noodle house");
-        assert_eq!(m.find_matches(&h, Matcher::Exact, &[true; 4]), vec![0]);
-        assert!(m.find_matches(&h, Matcher::Exact, &[false, true, true, true]).is_empty());
+        assert_eq!(m.find_matches(&h, Matcher::Exact, None), vec![0]);
+        assert_eq!(m.find_matches(&h, Matcher::Exact, Some(&[true; 4])), vec![0]);
+        assert!(m
+            .find_matches(&h, Matcher::Exact, Some(&[false, true, true, true]))
+            .is_empty());
     }
 
     #[test]
@@ -165,7 +178,7 @@ mod tests {
         );
         let m = LocalMatchIndex::build(&db);
         let h = ctx.doc("thai house");
-        assert_eq!(m.find_matches(&h, Matcher::Exact, &[true, true]), vec![0, 1]);
+        assert_eq!(m.find_matches(&h, Matcher::Exact, None), vec![0, 1]);
     }
 
     #[test]
@@ -179,8 +192,8 @@ mod tests {
         h_words[9] = "novel".into();
         let h = ctx.doc(&h_words.join(" "));
         // J = 9/11 ≈ 0.82.
-        assert_eq!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.8 }, &[true]), vec![0]);
-        assert!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.9 }, &[true]).is_empty());
+        assert_eq!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.8 }, None), vec![0]);
+        assert!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.9 }, None).is_empty());
     }
 
     #[test]
@@ -192,7 +205,7 @@ mod tests {
         // noodle,house}) = 3/4.
         let h = ctx.doc("thai noodle house extraword");
         assert_eq!(
-            m.find_matches(&h, Matcher::Jaccard { threshold: 0.7 }, &[true; 4]),
+            m.find_matches(&h, Matcher::Jaccard { threshold: 0.7 }, Some(&[true; 4])),
             vec![0]
         );
     }
@@ -206,7 +219,7 @@ mod tests {
         for p in probes {
             let h = ctx.doc(p);
             for thr in [0.3, 0.5, 0.8, 1.0] {
-                let got = m.find_matches(&h, Matcher::Jaccard { threshold: thr }, &[true; 4]);
+                let got = m.find_matches(&h, Matcher::Jaccard { threshold: thr }, None);
                 let expect: Vec<usize> = (0..db.len())
                     .filter(|&i| jaccard(db.doc(i), &h) >= thr)
                     .collect();

@@ -26,7 +26,7 @@ impl SampleIndex {
     /// Tokenizes and indexes a sample into the crawl vocabulary.
     pub fn build(sample: &HiddenSample, ctx: &mut TextContext) -> Self {
         let docs: Vec<Document> =
-            sample.records.iter().map(|r| ctx.doc_of_fields(&r.fields)).collect();
+            sample.records.iter().map(|r| ctx.doc_of_fields(&r.fields[..])).collect();
         let index = InvertedIndex::build(&docs, ctx.vocab.len());
         Self { docs, index, theta: sample.theta }
     }
@@ -80,11 +80,7 @@ mod tests {
             records: fields
                 .iter()
                 .enumerate()
-                .map(|(i, &f)| Retrieved {
-                    external_id: ExternalId(i as u64),
-                    fields: vec![f.to_owned()],
-                    payload: vec![],
-                })
+                .map(|(i, &f)| Retrieved::new(ExternalId(i as u64), vec![f.to_owned()], vec![]))
                 .collect(),
             theta,
         }

@@ -19,6 +19,8 @@ use smartcrawl_index::{ForwardIndex, LazyQueue, QueryId};
 use smartcrawl_match::Matcher;
 use smartcrawl_par::{par_map, par_map_indexed};
 use smartcrawl_text::Document;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Work counters for one crawl's selection machinery (paper Appendix B:
 /// the efficient implementation's cost is dominated by on-demand priority
@@ -36,6 +38,13 @@ pub struct SelectionStats {
     pub forward_touches: usize,
     /// QSel-Ideal only: oracle cover-set evaluations.
     pub oracle_evals: usize,
+    /// Wall time spent matching result pages against `D` (tokenization +
+    /// match-index probes), in nanoseconds. Profile only — never read back
+    /// into any selection decision.
+    pub page_match_ns: u64,
+    /// Wall time spent applying removals through the forward index, in
+    /// nanoseconds. Profile only, like `page_match_ns`.
+    pub removal_ns: u64,
 }
 
 /// What happened when a query's page was absorbed.
@@ -61,6 +70,11 @@ pub(crate) struct Engine<'a> {
     /// Records ever covered (for enrichment dedup; a record can be removed
     /// without being covered).
     covered: Vec<bool>,
+    /// Scratch bitset for page absorption: which records the *current*
+    /// page has already covered. Replaces an `O(|page|·matches)` linear
+    /// scan of `covered_now`; bits are cleared sparsely after each page so
+    /// the allocation is reused across the whole crawl.
+    page_seen: Vec<bool>,
     /// Current `|q(D)|` per query.
     freq: Vec<u32>,
     /// Fixed `|q(Hs)|` per query.
@@ -148,6 +162,7 @@ impl<'a> Engine<'a> {
             live: vec![true; n_local],
             live_count: n_local,
             covered: vec![false; n_local],
+            page_seen: vec![false; n_local],
             freq,
             freq_hs,
             matched_cnt,
@@ -233,10 +248,12 @@ impl<'a> Engine<'a> {
         let keywords = self.pool.render(qid, &self.ctx);
         let page = oracle.search(&keywords);
         let mut covered: Vec<u32> = Vec::new();
-        let all_live = vec![true; self.local.len()];
         for r in &page {
-            let doc = self.ctx.doc_of_fields(&r.fields);
-            for d in self.match_index.find_matches(&doc, self.matcher, &all_live) {
+            // `None` liveness: the oracle cover is over all of `D`, and
+            // skipping the all-true vec avoids an `O(|D|)` allocation per
+            // evaluation. The memoized doc makes repeat appearances free.
+            let doc = self.ctx.doc_of_retrieved(r);
+            for d in self.match_index.find_matches(&doc, self.matcher, None) {
                 covered.push(d as u32);
             }
         }
@@ -249,14 +266,19 @@ impl<'a> Engine<'a> {
     /// records, applies the strategy's removal policy, and refreshes the
     /// benefit bookkeeping.
     pub(crate) fn process(&mut self, qid: QueryId, page: &[Retrieved]) -> ProcessOutcome {
-        // 1. Match the page against the live local records.
-        let page_docs: Vec<Document> =
-            page.iter().map(|r| self.ctx.doc_of_fields(&r.fields)).collect();
+        // 1. Match the page against the live local records. Docs are
+        // memoized per external id, so only a record's first appearance in
+        // the crawl pays for tokenization; `page_seen` dedups within the
+        // page in O(1) per match.
+        let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+        let page_docs: Vec<Arc<Document>> =
+            page.iter().map(|r| self.ctx.doc_of_retrieved(r)).collect();
         let mut newly_covered: Vec<(usize, usize)> = Vec::new();
         let mut covered_now: Vec<usize> = Vec::new();
         for (pi, doc) in page_docs.iter().enumerate() {
-            for d in self.match_index.find_matches(doc, self.matcher, &self.live) {
-                if !covered_now.contains(&d) {
+            for d in self.match_index.find_matches(doc, self.matcher, Some(&self.live)) {
+                if !self.page_seen[d] {
+                    self.page_seen[d] = true;
                     covered_now.push(d);
                     if !self.covered[d] {
                         self.covered[d] = true;
@@ -265,6 +287,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        self.stats.page_match_ns += t_match.elapsed().as_nanos() as u64;
 
         // 2. Removal policy.
         let mut to_remove: Vec<usize> = covered_now.clone();
@@ -285,13 +308,14 @@ impl<'a> Engine<'a> {
                 }
             }
             Strategy::Bound => {
-                // Algorithm 3: q(ΔD) = live q(D) not covered by the page.
+                // Algorithm 3: q(ΔD) = live q(D) not covered by the page
+                // (`page_seen` holds exactly the covered set right now).
                 let q_delta: Vec<usize> = self
                     .pool
                     .matches(qid)
                     .iter()
                     .map(|rid| rid.index())
-                    .filter(|&d| self.live[d] && !covered_now.contains(&d))
+                    .filter(|&d| self.live[d] && !self.page_seen[d])
                     .collect();
                 if q_delta.is_empty() {
                     // Situation (1): trustably beneficial — covered leave D.
@@ -305,9 +329,15 @@ impl<'a> Engine<'a> {
         }
         to_remove.sort_unstable();
         to_remove.dedup();
+        // Sparse reset: only the bits this page set.
+        for &d in &covered_now {
+            self.page_seen[d] = false;
+        }
 
         // 3. Apply removals through the forward index (Fig. 3(b)/(c)).
+        let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let removed = self.remove_records(&to_remove);
+        self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
 
         if requeue {
             let prio = self.freq[qid.index()] as f64;
@@ -347,13 +377,14 @@ impl<'a> Engine<'a> {
     /// round's result): covered records are matched and removed, but no
     /// query-pool entry is consumed and no ΔD prediction is applied.
     pub(crate) fn process_external(&mut self, page: &[Retrieved]) -> ProcessOutcome {
-        let page_docs: Vec<Document> =
-            page.iter().map(|r| self.ctx.doc_of_fields(&r.fields)).collect();
+        let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let mut newly_covered: Vec<(usize, usize)> = Vec::new();
         let mut covered_now: Vec<usize> = Vec::new();
-        for (pi, doc) in page_docs.iter().enumerate() {
-            for d in self.match_index.find_matches(doc, self.matcher, &self.live) {
-                if !covered_now.contains(&d) {
+        for (pi, r) in page.iter().enumerate() {
+            let doc = self.ctx.doc_of_retrieved(r);
+            for d in self.match_index.find_matches(&doc, self.matcher, Some(&self.live)) {
+                if !self.page_seen[d] {
+                    self.page_seen[d] = true;
                     covered_now.push(d);
                     if !self.covered[d] {
                         self.covered[d] = true;
@@ -362,7 +393,13 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        for &d in &covered_now {
+            self.page_seen[d] = false;
+        }
+        self.stats.page_match_ns += t_match.elapsed().as_nanos() as u64;
+        let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let removed = self.remove_records(&covered_now);
+        self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
         ProcessOutcome { newly_covered, removed }
     }
 
@@ -406,7 +443,7 @@ impl<'a> Engine<'a> {
         &self,
         qid: QueryId,
         page_len: usize,
-        page_docs: &[Document],
+        page_docs: &[Arc<Document>],
         policy: DeltaRemoval,
     ) -> bool {
         match policy {
@@ -657,11 +694,11 @@ mod tests {
         let (mut ctx, local, _hidden) = fixture();
         // A sample containing local 0's exact text, θ = 0.5.
         let sample = smartcrawl_sampler::HiddenSample {
-            records: vec![smartcrawl_hidden::Retrieved {
-                external_id: smartcrawl_hidden::ExternalId(0),
-                fields: vec!["thai noodle house".into()],
-                payload: vec![],
-            }],
+            records: vec![smartcrawl_hidden::Retrieved::new(
+                smartcrawl_hidden::ExternalId(0),
+                vec!["thai noodle house".into()],
+                vec![],
+            )],
             theta: 0.5,
         };
         let sample_index = crate::sample::SampleIndex::build(&sample, &mut ctx);

@@ -214,7 +214,7 @@ fn estimated_benefit_tracks_true_benefit_direction() {
         let page = s.hidden.search(&q.render(&ctx));
         let mut truth = 0usize;
         for r in &page {
-            let rdoc = ctx.doc_of_fields(&r.fields);
+            let rdoc = ctx.doc_of_fields(&r.fields[..]);
             truth += (0..local.len()).filter(|&d| local.doc(d) == &rdoc).count();
         }
         if estimate >= 2.0 {
@@ -310,10 +310,12 @@ fn lemma_6_unbiasedness_survives_fuzzy_matching() {
         records: s
             .hidden
             .iter()
-            .map(|r| smartcrawl_hidden::Retrieved {
-                external_id: r.external_id,
-                fields: r.searchable.fields().to_vec(),
-                payload: vec![],
+            .map(|r| {
+                smartcrawl_hidden::Retrieved::new(
+                    r.external_id,
+                    r.searchable.fields().to_vec(),
+                    vec![],
+                )
             })
             .collect(),
         theta: 1.0,

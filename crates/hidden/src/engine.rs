@@ -103,8 +103,23 @@ impl HiddenDbBuilder {
         }
         let by_external =
             self.records.iter().enumerate().map(|(i, r)| (r.external_id, i)).collect();
+        // Pre-materialize every record's interface view once: `retrieve`
+        // then costs two refcount bumps per result instead of deep-copying
+        // all field and payload strings on every page it appears in.
+        let retrieved: Vec<Retrieved> = self
+            .records
+            .iter()
+            .map(|r| {
+                Retrieved::new(
+                    r.external_id,
+                    r.searchable.fields().to_vec(),
+                    r.payload.clone(),
+                )
+            })
+            .collect();
         HiddenDb {
             records: self.records,
+            retrieved,
             docs,
             vocab,
             index,
@@ -127,6 +142,8 @@ impl Default for HiddenDbBuilder {
 #[derive(Debug)]
 pub struct HiddenDb {
     records: Vec<HiddenRecord>,
+    /// Shared interface views, one per record (see `retrieve`).
+    retrieved: Vec<Retrieved>,
     docs: Vec<Document>,
     vocab: Vocabulary,
     index: InvertedIndex,
@@ -278,12 +295,13 @@ impl HiddenDb {
     }
 
     fn retrieve(&self, rid: RecordId) -> Retrieved {
-        let r = &self.records[rid.index()];
-        Retrieved {
-            external_id: r.external_id,
-            fields: r.searchable.fields().to_vec(),
-            payload: r.payload.clone(),
-        }
+        self.retrieved[rid.index()].clone()
+    }
+
+    /// The shared interface view of a record (samplers use this to build
+    /// whole-database samples without re-copying cells).
+    pub fn retrieved_of(&self, id: ExternalId) -> Option<&Retrieved> {
+        self.by_external.get(&id).map(|&i| &self.retrieved[i])
     }
 }
 

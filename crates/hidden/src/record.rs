@@ -1,6 +1,7 @@
 //! Hidden records and what the interface returns.
 
 use smartcrawl_text::Record;
+use std::sync::Arc;
 
 /// Opaque identifier a hidden database exposes for its records (a Yelp
 /// business id, a DBLP key). Stable across queries; reveals nothing about
@@ -39,17 +40,27 @@ impl HiddenRecord {
 /// One record as returned through the search interface: the indexed fields
 /// (so the crawler can match it against local records) plus the enrichment
 /// payload. The rank signal stays hidden.
+///
+/// The string data is `Arc`-backed: a record appears in every page that
+/// matches it, flows through interface wrappers (cache, fault injector),
+/// and lands in enrichment pairs — sharing makes each of those hops a
+/// refcount bump instead of a deep copy of every cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Retrieved {
     /// The hidden database's key for this record.
     pub external_id: ExternalId,
     /// Indexed attribute values, as stored.
-    pub fields: Vec<String>,
+    pub fields: Arc<[String]>,
     /// Enrichment attributes.
-    pub payload: Vec<String>,
+    pub payload: Arc<[String]>,
 }
 
 impl Retrieved {
+    /// Builds a record from owned cell vectors.
+    pub fn new(external_id: ExternalId, fields: Vec<String>, payload: Vec<String>) -> Self {
+        Self { external_id, fields: fields.into(), payload: payload.into() }
+    }
+
     /// All indexed fields concatenated (the text a crawler tokenizes).
     pub fn full_text(&self) -> String {
         self.fields.join(" ")
@@ -70,11 +81,20 @@ mod tests {
 
     #[test]
     fn retrieved_full_text_joins_fields() {
-        let r = Retrieved {
-            external_id: ExternalId(1),
-            fields: vec!["Thai House".into(), "Vancouver".into()],
-            payload: vec![],
-        };
+        let r = Retrieved::new(
+            ExternalId(1),
+            vec!["Thai House".into(), "Vancouver".into()],
+            vec![],
+        );
         assert_eq!(r.full_text(), "Thai House Vancouver");
+    }
+
+    #[test]
+    fn retrieved_clones_share_storage() {
+        let r = Retrieved::new(ExternalId(2), vec!["Thai House".into()], vec!["4.1".into()]);
+        let c = r.clone();
+        assert!(Arc::ptr_eq(&r.fields, &c.fields));
+        assert!(Arc::ptr_eq(&r.payload, &c.payload));
+        assert_eq!(r, c);
     }
 }

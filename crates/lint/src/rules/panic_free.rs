@@ -60,15 +60,21 @@ pub fn check(file: &SourceFile<'_>, _cfg: &Config, out: &mut Vec<Diagnostic>) {
             continue;
         }
         // Slice/array indexing: `<expr> [ … ]` where <expr> ends in an
-        // ident, `)`, or `]`. `&v[..]` range slicing panics the same way.
-        // Attribute brackets (`#[…]`) and type brackets (`[u32; 4]`) never
-        // follow those token kinds, so this stays precise lexically.
+        // ident, `)`, or `]`. Partial ranges (`v[a..]`, `v[..b]`) panic
+        // the same way; the full range `v[..]` is the one shape that
+        // cannot (0 <= len always holds) and is exempt. Attribute
+        // brackets (`#[…]`) and type brackets (`[u32; 4]`) never follow
+        // those token kinds, so this stays precise lexically.
         if tok.text == "[" && i >= 1 {
+            // `..` lexes as two single-char Punct tokens.
+            let full_range = file.code_tok(i + 1).is_some_and(|t| t.text == ".")
+                && file.code_tok(i + 2).is_some_and(|t| t.text == ".")
+                && file.code_tok(i + 3).is_some_and(|t| t.text == "]");
             if let Some(prev) = file.code_tok(i - 1) {
                 let indexable = prev.text == ")"
                     || prev.text == "]"
                     || (is_ident(prev.text) && !is_keyword(prev.text));
-                if indexable {
+                if indexable && !full_range {
                     emit(
                         out,
                         file,
@@ -123,6 +129,12 @@ mod tests {
     #[test]
     fn flags_slice_indexing() {
         let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] + foo(v)[0] }";
+        assert_eq!(diags("crates/x/src/lib.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn full_range_slicing_is_infallible_partial_ranges_fire() {
+        let src = "fn f(v: &[u32], i: usize) -> &[u32] { let _ = &v[..i]; let _ = &v[i..]; &v[..] }";
         assert_eq!(diags("crates/x/src/lib.rs", src).len(), 2);
     }
 

@@ -9,10 +9,14 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use smartcrawl_hidden::{HiddenDb, Retrieved};
 
 fn to_retrieved(db: &HiddenDb) -> impl Iterator<Item = Retrieved> + '_ {
-    db.iter().map(|r| Retrieved {
-        external_id: r.external_id,
-        fields: r.searchable.fields().to_vec(),
-        payload: r.payload.clone(),
+    // The engine pre-materializes every record's Arc-backed interface view;
+    // cloning it here shares the cell storage instead of re-copying it.
+    db.iter().map(|r| {
+        db.retrieved_of(r.external_id)
+            .cloned()
+            .unwrap_or_else(|| {
+                Retrieved::new(r.external_id, r.searchable.fields().to_vec(), r.payload.clone())
+            })
     })
 }
 

@@ -58,7 +58,7 @@ pub fn save_sample(path: impl AsRef<Path>, sample: &HiddenSample) -> std::io::Re
     writeln!(f, "theta\t{}", sample.theta)?;
     for r in &sample.records {
         write!(f, "{}\t{}\t{}", r.external_id.0, r.fields.len(), r.payload.len())?;
-        for field in r.fields.iter().chain(&r.payload) {
+        for field in r.fields.iter().chain(r.payload.iter()) {
             write!(f, "\t{}", escape(field))?;
         }
         writeln!(f)?;
@@ -102,7 +102,7 @@ pub fn load_sample(path: impl AsRef<Path>) -> std::io::Result<HiddenSample> {
             texts.push(unescape(cell).ok_or_else(|| bad("bad escape sequence"))?);
         }
         let payload = texts.split_off(nf);
-        records.push(Retrieved { external_id: ExternalId(id), fields: texts, payload });
+        records.push(Retrieved::new(ExternalId(id), texts, payload));
     }
     Ok(HiddenSample { records, theta })
 }
@@ -114,16 +114,12 @@ mod tests {
     fn sample() -> HiddenSample {
         HiddenSample {
             records: vec![
-                Retrieved {
-                    external_id: ExternalId(7),
-                    fields: vec!["thai\thouse".into(), "line\nbreak".into()],
-                    payload: vec!["4.5".into()],
-                },
-                Retrieved {
-                    external_id: ExternalId(42),
-                    fields: vec!["back\\slash".into()],
-                    payload: vec![],
-                },
+                Retrieved::new(
+                    ExternalId(7),
+                    vec!["thai\thouse".into(), "line\nbreak".into()],
+                    vec!["4.5".into()],
+                ),
+                Retrieved::new(ExternalId(42), vec!["back\\slash".into()], vec![]),
             ],
             theta: 0.025,
         }

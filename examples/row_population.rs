@@ -62,10 +62,12 @@ fn main() {
             .crawled_ids()
             .iter()
             .filter_map(|&id| scenario.hidden.get(id))
-            .map(|r| deeper::hidden::Retrieved {
-                external_id: r.external_id,
-                fields: r.searchable.fields().to_vec(),
-                payload: r.payload.clone(),
+            .map(|r| {
+                deeper::hidden::Retrieved::new(
+                    r.external_id,
+                    r.searchable.fields().to_vec(),
+                    r.payload.clone(),
+                )
             })
             .collect()
     };

@@ -231,7 +231,7 @@ fn run(opts: &Options) -> Result<(), String> {
     );
 
     // Extend the local table with payload columns.
-    let mut enriched: HashMap<usize, &Vec<String>> = HashMap::new();
+    let mut enriched: HashMap<usize, &[String]> = HashMap::new();
     for pair in &report.enriched {
         enriched.insert(pair.local, &pair.payload);
     }

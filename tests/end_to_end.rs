@@ -128,7 +128,7 @@ fn enrichment_payloads_come_from_true_matches() {
         }
         // Payload must equal what the hidden database stores.
         let rec = s.hidden.get(pair.external).expect("record exists");
-        assert_eq!(rec.payload, pair.payload);
+        assert_eq!(rec.payload[..], pair.payload[..]);
     }
     assert!(
         (wrong as f64) <= 0.02 * report.enriched.len() as f64,

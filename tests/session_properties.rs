@@ -173,6 +173,123 @@ fn every_approach_is_identical_across_thread_counts() {
     }
 }
 
+/// FNV-1a digest of a report's result surface: issued queries, returned
+/// pages, enrichment pairs, and removals — everything the Arc-backed
+/// shared-page refactor must leave byte-identical, and nothing a cache
+/// layer is allowed to tally differently (event counts are deliberately
+/// excluded: cached stacks legitimately emit hit/miss events).
+fn crawl_digest(r: &CrawlReport) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            digest = (digest ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for step in &r.steps {
+        fold(step.keywords.len() as u64);
+        for kw in &step.keywords {
+            for b in kw.bytes() {
+                fold(u64::from(b));
+            }
+        }
+        for id in &step.returned {
+            fold(id.0);
+        }
+        fold(u64::from(step.full_page));
+    }
+    for e in &r.enriched {
+        fold(e.local as u64);
+        fold(e.external.0);
+        fold(e.payload.len() as u64);
+        for cell in e.payload.iter() {
+            for b in cell.bytes() {
+                fold(u64::from(b));
+            }
+        }
+    }
+    fold(r.records_removed as u64);
+    digest
+}
+
+/// The hot-path overhaul's contract, pinned as a matrix: for every
+/// approach, the crawl digest is identical across {cache on/off} ×
+/// {1 vs 4 threads} on a clean interface, and across {1 vs 4 threads}
+/// within each flaky stack. The one legitimate divergence — flaky+cached
+/// vs flaky+uncached, where in-run cache hits skip failure-injector RNG
+/// draws — is deliberately NOT pinned (tests/cache_properties.rs guards
+/// its boundary condition instead).
+#[test]
+fn crawl_digests_are_invariant_across_cache_flakiness_and_threads() {
+    use deeper::{CachePolicy, CachedInterface, QueryCache};
+    for seed in [7u64, 42] {
+        let s = scenario(seed);
+        let budget = 18;
+        for (which, name) in APPROACHES.iter().enumerate() {
+            let plain = |threads: usize| {
+                deeper::par::with_threads(threads, || {
+                    let mut iface = Metered::new(&s.hidden, Some(budget));
+                    crawl_digest(&run_approach(
+                        which, &s, budget, seed, &mut iface, RetryPolicy::none(),
+                    ))
+                })
+            };
+            let cached = |threads: usize| {
+                deeper::par::with_threads(threads, || {
+                    let mut store = QueryCache::new(CachePolicy::default());
+                    let mut iface = CachedInterface::new(
+                        &mut store,
+                        Metered::new(&s.hidden, Some(budget)),
+                    );
+                    crawl_digest(&run_approach(
+                        which, &s, budget, seed, &mut iface, RetryPolicy::none(),
+                    ))
+                })
+            };
+            let reference = plain(1);
+            for (label, digest) in [
+                ("plain @ 4 threads", plain(4)),
+                ("cached @ 1 thread", cached(1)),
+                ("cached @ 4 threads", cached(4)),
+            ] {
+                assert_eq!(
+                    reference, digest,
+                    "{name}: {label} diverged from plain @ 1 thread (seed {seed})"
+                );
+            }
+
+            let flaky = |threads: usize, with_cache: bool| {
+                deeper::par::with_threads(threads, || {
+                    let inner = FlakyInterface::new(
+                        Metered::new(&s.hidden, Some(budget)),
+                        0.2,
+                        seed ^ 0xBEEF,
+                    );
+                    if with_cache {
+                        let mut store = QueryCache::new(CachePolicy::default());
+                        let mut iface = CachedInterface::new(&mut store, inner);
+                        crawl_digest(&run_approach(
+                            which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
+                        ))
+                    } else {
+                        let mut iface = inner;
+                        crawl_digest(&run_approach(
+                            which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
+                        ))
+                    }
+                })
+            };
+            for with_cache in [false, true] {
+                assert_eq!(
+                    flaky(1, with_cache),
+                    flaky(4, with_cache),
+                    "{name}: flaky (cache: {with_cache}) diverged across thread \
+                     counts (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
