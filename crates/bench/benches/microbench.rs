@@ -181,7 +181,7 @@ fn bench_matching(c: &mut Criterion) {
             let mut hits = 0usize;
             for doc in &page {
                 hits += match_index
-                    .find_matches(black_box(doc), Matcher::Jaccard { threshold: 0.9 }, &live)
+                    .find_matches(black_box(doc), Matcher::Jaccard { threshold: 0.9 }, Some(&live))
                     .len();
             }
             black_box(hits)
@@ -191,7 +191,7 @@ fn bench_matching(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for doc in &page {
-                hits += match_index.find_matches(black_box(doc), Matcher::Exact, &live).len();
+                hits += match_index.find_matches(black_box(doc), Matcher::Exact, Some(&live)).len();
             }
             black_box(hits)
         })

@@ -42,7 +42,7 @@ pub fn checkpoints(budget: usize) -> Vec<usize> {
     let step = (budget / 10).max(1);
     let mut cks: Vec<usize> = (1..=10).map(|i| (i * step).min(budget)).collect();
     cks.dedup();
-    if *cks.last().unwrap() != budget {
+    if cks.last() != Some(&budget) {
         cks.push(budget);
     }
     cks

@@ -83,7 +83,7 @@ impl RunSpec {
     pub fn new(approach: Approach, budget: usize) -> Self {
         let step = (budget / 10).max(1);
         let mut checkpoints: Vec<usize> = (1..=10).map(|i| i * step).collect();
-        if *checkpoints.last().unwrap() != budget {
+        if checkpoints.last() != Some(&budget) {
             checkpoints.push(budget);
         }
         Self {

@@ -1,0 +1,171 @@
+//! Dense interning of hidden-record external ids.
+//!
+//! Every per-record memo in the crawl loop (tokenized page documents,
+//! local-match candidate sets) used to be a `HashMap<ExternalId, _>`. Top-k
+//! pages re-surface the same popular records constantly, so those lookups
+//! run millions of times per crawl — and each one re-hashes a 64-bit key
+//! through SipHash and chases map buckets. [`RecordArena`] interns each
+//! external id into a dense `u32` the first time it is seen; every memo
+//! then becomes a flat `Vec` indexed by that id, and repeat appearances
+//! cost one open-addressed probe here plus direct indexing everywhere else.
+//!
+//! The table is deliberately not `std::collections::HashMap`:
+//!
+//! * Fibonacci multiplicative hashing on the raw id — external ids are
+//!   already near-uniform integers, so one multiply beats SipHash by an
+//!   order of magnitude and is trivially deterministic (no per-process
+//!   `RandomState`).
+//! * Linear probing over parallel `u64` key / `u32` id arrays keeps probes
+//!   inside one or two cache lines.
+//! * Dense ids are assigned in first-appearance order, which is itself
+//!   deterministic for a deterministic crawl — so the arena's iteration
+//!   order can safely feed digests and reports.
+
+use smartcrawl_hidden::ExternalId;
+
+/// Sentinel in the id table marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+/// 2⁶⁴ / φ, the usual Fibonacci-hashing multiplier.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Interns [`ExternalId`]s into dense `u32` ids, first-appearance order.
+#[derive(Debug, Clone)]
+pub struct RecordArena {
+    /// Open-addressed slots: the raw external id in each occupied slot.
+    table_keys: Vec<u64>,
+    /// Parallel to `table_keys`: dense id, or [`EMPTY`].
+    table_ids: Vec<u32>,
+    /// Dense id → external id (insertion order).
+    dense: Vec<ExternalId>,
+    /// `64 - log2(capacity)`: maps a hash to a home slot.
+    shift: u32,
+}
+
+impl Default for RecordArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordArena {
+    /// An empty arena with a small pre-sized table.
+    pub fn new() -> Self {
+        const INITIAL: usize = 16;
+        Self {
+            table_keys: vec![0; INITIAL],
+            table_ids: vec![EMPTY; INITIAL],
+            dense: Vec::new(),
+            shift: 64 - INITIAL.trailing_zeros(),
+        }
+    }
+
+    /// Number of distinct ids interned.
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Interns `id`, returning its dense id and whether it was new.
+    pub fn intern(&mut self, id: ExternalId) -> (u32, bool) {
+        // Grow at 7/8 load so probe chains stay short.
+        if (self.dense.len() + 1) * 8 > self.table_keys.len() * 7 {
+            self.grow();
+        }
+        let mask = self.table_keys.len() - 1;
+        let mut slot = (id.0.wrapping_mul(FIB) >> self.shift) as usize;
+        loop {
+            let d = self.table_ids[slot];
+            if d == EMPTY {
+                let fresh = self.dense.len() as u32;
+                self.table_keys[slot] = id.0;
+                self.table_ids[slot] = fresh;
+                self.dense.push(id);
+                return (fresh, true);
+            }
+            if self.table_keys[slot] == id.0 {
+                return (d, false);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The dense id of `id`, if it has been interned.
+    pub fn get(&self, id: ExternalId) -> Option<u32> {
+        let mask = self.table_keys.len() - 1;
+        let mut slot = (id.0.wrapping_mul(FIB) >> self.shift) as usize;
+        loop {
+            let d = self.table_ids[slot];
+            if d == EMPTY {
+                return None;
+            }
+            if self.table_keys[slot] == id.0 {
+                return Some(d);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The external id behind dense id `dense`.
+    pub fn external(&self, dense: u32) -> ExternalId {
+        self.dense[dense as usize]
+    }
+
+    /// Doubles the table and re-seats every interned id. Rehashing walks
+    /// `dense` in insertion order, so the rebuilt table is a pure function
+    /// of the interned set — no iteration-order nondeterminism.
+    fn grow(&mut self) {
+        let cap = self.table_keys.len() * 2;
+        self.table_keys = vec![0; cap];
+        self.table_ids = vec![EMPTY; cap];
+        self.shift = 64 - cap.trailing_zeros();
+        let mask = cap - 1;
+        for (d, id) in self.dense.iter().enumerate() {
+            let mut slot = (id.0.wrapping_mul(FIB) >> self.shift) as usize;
+            while self.table_ids[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.table_keys[slot] = id.0;
+            self.table_ids[slot] = d as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_in_first_appearance_order() {
+        let mut a = RecordArena::new();
+        assert_eq!(a.intern(ExternalId(40)), (0, true));
+        assert_eq!(a.intern(ExternalId(7)), (1, true));
+        assert_eq!(a.intern(ExternalId(40)), (0, false));
+        assert_eq!(a.intern(ExternalId(0)), (2, true)); // id 0 is a real key
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.external(1), ExternalId(7));
+        assert_eq!(a.get(ExternalId(0)), Some(2));
+        assert_eq!(a.get(ExternalId(99)), None);
+    }
+
+    #[test]
+    fn survives_growth_with_collisions() {
+        let mut a = RecordArena::new();
+        // Force several doublings; step by a multiple of the table size to
+        // provoke clustered home slots.
+        for i in 0..10_000u64 {
+            let (d, fresh) = a.intern(ExternalId(i * 64));
+            assert_eq!(d as u64, i);
+            assert!(fresh);
+        }
+        assert_eq!(a.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(a.get(ExternalId(i * 64)), Some(i as u32), "id {i}");
+            assert_eq!(a.intern(ExternalId(i * 64)), (i as u32, false));
+        }
+    }
+}

@@ -8,9 +8,9 @@
 //! `D` (which must *not* be dropped — an extra unseen keyword changes both
 //! exact equality and Jaccard similarity).
 
-use smartcrawl_hidden::{ExternalId, Retrieved};
+use crate::arena::RecordArena;
+use smartcrawl_hidden::Retrieved;
 use smartcrawl_text::{Document, Tokenizer, Vocabulary};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Tokenizer + vocabulary shared by everything in one crawl.
@@ -20,13 +20,17 @@ pub struct TextContext {
     pub tokenizer: Tokenizer,
     /// The crawl-wide vocabulary.
     pub vocab: Vocabulary,
-    /// Memoized documents of retrieved hidden records, keyed by external
-    /// id. A record's cells never change within a crawl and vocabulary
-    /// interning is append-only, so tokenizing it once is enough; top-k
-    /// pages re-surface the same popular records constantly, which makes
-    /// this the hottest cache in the crawl loop. Never iterated, so the
-    /// map's ordering cannot leak into results.
-    page_docs: HashMap<ExternalId, Arc<Document>>,
+    /// Dense interning of retrieved hidden records' external ids:
+    /// first-appearance order, so downstream memos are flat vectors.
+    arena: RecordArena,
+    /// Memoized documents of retrieved hidden records, indexed by the
+    /// arena's dense id (invariant: a document is pushed the moment its id
+    /// is interned, so `page_docs.len() == arena.len()` at all times). A
+    /// record's cells never change within a crawl and vocabulary interning
+    /// is append-only, so tokenizing once is enough; top-k pages re-surface
+    /// the same popular records constantly, which makes this the hottest
+    /// cache in the crawl loop.
+    page_docs: Vec<Arc<Document>>,
 }
 
 impl TextContext {
@@ -45,22 +49,45 @@ impl TextContext {
         self.tokenizer.tokenize_fields(fields, &mut self.vocab)
     }
 
-    /// The document of a retrieved hidden record, tokenized at most once
-    /// per crawl (subsequent appearances of the same record are a map
-    /// lookup plus a refcount bump).
-    pub fn doc_of_retrieved(&mut self, r: &Retrieved) -> Arc<Document> {
-        if let Some(d) = self.page_docs.get(&r.external_id) {
-            return Arc::clone(d);
+    /// Interns the retrieved record's external id, tokenizing its document
+    /// on first sight. Repeat appearances cost one arena probe — no
+    /// tokenization, no document clone. The returned dense id indexes
+    /// [`TextContext::dense_doc`] and any caller-side per-record memo.
+    pub fn intern_retrieved(&mut self, r: &Retrieved) -> u32 {
+        let (dense, fresh) = self.arena.intern(r.external_id);
+        if fresh {
+            let d = Arc::new(self.tokenizer.tokenize_fields(&r.fields[..], &mut self.vocab));
+            self.page_docs.push(d);
         }
-        let d = Arc::new(self.tokenizer.tokenize_fields(&r.fields[..], &mut self.vocab));
-        self.page_docs.insert(r.external_id, Arc::clone(&d));
-        d
+        dense
+    }
+
+    /// The memoized document behind a dense id from
+    /// [`TextContext::intern_retrieved`].
+    pub fn dense_doc(&self, dense: u32) -> &Arc<Document> {
+        // lint:allow(panic-freedom) dense ids are minted by intern_retrieved, which pushes the doc before returning
+        &self.page_docs[dense as usize]
+    }
+
+    /// Number of distinct retrieved records interned so far.
+    pub fn interned_records(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The document of a retrieved hidden record, tokenized at most once
+    /// per crawl (subsequent appearances of the same record are an arena
+    /// probe plus a refcount bump).
+    pub fn doc_of_retrieved(&mut self, r: &Retrieved) -> Arc<Document> {
+        let dense = self.intern_retrieved(r);
+        // lint:allow(panic-freedom) intern_retrieved just pushed or found the doc at this id
+        Arc::clone(&self.page_docs[dense as usize])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrawl_hidden::ExternalId;
 
     #[test]
     fn doc_interns_into_shared_vocab() {
@@ -91,5 +118,18 @@ mod tests {
         // A different record still tokenizes fresh.
         let other = Retrieved::new(ExternalId(8), vec!["noodle bar".into()], vec![]);
         assert_eq!(ctx.doc_of_retrieved(&other).len(), 2);
+    }
+
+    #[test]
+    fn intern_retrieved_assigns_dense_ids_in_first_appearance_order() {
+        let mut ctx = TextContext::new();
+        let a = Retrieved::new(ExternalId(90), vec!["thai house".into()], vec![]);
+        let b = Retrieved::new(ExternalId(3), vec!["noodle bar".into()], vec![]);
+        assert_eq!(ctx.intern_retrieved(&a), 0);
+        assert_eq!(ctx.intern_retrieved(&b), 1);
+        assert_eq!(ctx.intern_retrieved(&a), 0, "repeat keeps its dense id");
+        assert_eq!(ctx.interned_records(), 2);
+        let expect = ctx.doc_of_fields(&["noodle bar"]);
+        assert_eq!(**ctx.dense_doc(1), expect);
     }
 }

@@ -250,65 +250,63 @@ impl<'a> OnlineSource<'a> {
 
 impl QuerySource for OnlineSource<'_> {
     fn next_query(&mut self, issued: usize) -> Option<Vec<String>> {
-        loop {
-            // Resume mid-round degree probing first. The state is taken
-            // out of `self.probe` and either returned there (probe query in
-            // flight) or consumed by `finalize_round` — no panic path.
-            if let Some(mut ps) = self.probe.take() {
-                while let Some(kw) = ps.kws.get(ps.kw_idx) {
-                    match self.sampler.probe_cache.get(kw).copied() {
-                        Some(m) => {
-                            ps.kw_idx += 1;
-                            if let Some(m) = m {
-                                if m > 0 {
-                                    ps.degree += 1.0 / m as f64;
-                                }
+        // Resume mid-round degree probing first. The state is taken
+        // out of `self.probe` and either returned there (probe query in
+        // flight) or consumed by `finalize_round` — no panic path.
+        if let Some(mut ps) = self.probe.take() {
+            while let Some(kw) = ps.kws.get(ps.kw_idx) {
+                match self.sampler.probe_cache.get(kw).copied() {
+                    Some(m) => {
+                        ps.kw_idx += 1;
+                        if let Some(m) = m {
+                            if m > 0 {
+                                ps.degree += 1.0 / m as f64;
                             }
-                        }
-                        None => {
-                            // Unprobed keywords are skipped once the probe
-                            // or budget cap is hit; the degree is then an
-                            // underestimate, making acceptance slightly too
-                            // likely — a documented bias/cost trade-off.
-                            if ps.probes >= self.cfg.max_probes_per_round
-                                || issued >= self.cfg.budget
-                            {
-                                ps.kw_idx += 1;
-                                continue;
-                            }
-                            ps.probes += 1;
-                            let kw = kw.clone();
-                            ps.kw_idx += 1;
-                            self.probe = Some(ps);
-                            self.phase = Phase::AwaitProbe;
-                            return Some(vec![kw]);
                         }
                     }
+                    None => {
+                        // Unprobed keywords are skipped once the probe
+                        // or budget cap is hit; the degree is then an
+                        // underestimate, making acceptance slightly too
+                        // likely — a documented bias/cost trade-off.
+                        if ps.probes >= self.cfg.max_probes_per_round
+                            || issued >= self.cfg.budget
+                        {
+                            ps.kw_idx += 1;
+                            continue;
+                        }
+                        ps.probes += 1;
+                        let kw = kw.clone();
+                        ps.kw_idx += 1;
+                        self.probe = Some(ps);
+                        self.phase = Phase::AwaitProbe;
+                        return Some(vec![kw]);
+                    }
                 }
-                self.finalize_round(ps);
             }
-
-            // Round start.
-            if self.engine.live_count() == 0 {
-                return None;
-            }
-            self.sampling_due += self.cfg.sampling_fraction;
-            if self.sampling_due >= 1.0 && !self.sampler.pool.is_empty() {
-                self.sampling_due -= 1.0;
-                // One sampling round (costs 1 + #probes queries).
-                self.sampler.rounds += 1;
-                let w = self.sampler.pool
-                    [self.sampler.rng.gen_range(0..self.sampler.pool.len())]
-                .clone();
-                self.phase = Phase::AwaitSample;
-                return Some(vec![w]);
-            }
-            // One crawl round.
-            let (qid, _prio) = self.engine.select_next()?;
-            let keywords = self.engine.render(qid);
-            self.phase = Phase::AwaitCrawl(qid);
-            return Some(keywords);
+            self.finalize_round(ps);
         }
+
+        // Round start.
+        if self.engine.live_count() == 0 {
+            return None;
+        }
+        self.sampling_due += self.cfg.sampling_fraction;
+        if self.sampling_due >= 1.0 && !self.sampler.pool.is_empty() {
+            self.sampling_due -= 1.0;
+            // One sampling round (costs 1 + #probes queries).
+            self.sampler.rounds += 1;
+            let w = self.sampler.pool
+                [self.sampler.rng.gen_range(0..self.sampler.pool.len())]
+            .clone();
+            self.phase = Phase::AwaitSample;
+            return Some(vec![w]);
+        }
+        // One crawl round.
+        let (qid, _prio) = self.engine.select_next()?;
+        let keywords = self.engine.render(qid);
+        self.phase = Phase::AwaitCrawl(qid);
+        Some(keywords)
     }
 
     fn observe(&mut self, keywords: &[String], page: &SearchPage, k: usize) -> Observation {
@@ -385,7 +383,7 @@ impl QuerySource for OnlineSource<'_> {
     }
 
     fn selection_stats(&self) -> crate::select::engine::SelectionStats {
-        self.engine.stats
+        self.engine.stats()
     }
 }
 

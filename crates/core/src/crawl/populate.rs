@@ -25,9 +25,9 @@ use crate::estimate::{Estimator, EstimatorKind};
 use crate::local::LocalDb;
 use crate::pool::{PoolConfig, QueryPool};
 use crate::sample::SampleIndex;
-use smartcrawl_hidden::{ExternalId, RetryPolicy, Retrieved, SearchInterface, SearchPage};
+use crate::arena::RecordArena;
+use smartcrawl_hidden::{RetryPolicy, Retrieved, SearchInterface, SearchPage};
 use smartcrawl_sampler::HiddenSample;
-use std::collections::HashSet;
 
 /// Configuration of a row-population crawl.
 #[derive(Debug, Clone)]
@@ -66,7 +66,9 @@ pub struct PopulateSource {
     /// Query indexes, best expected yield first.
     order: Vec<usize>,
     cursor: usize,
-    seen: HashSet<ExternalId>,
+    /// Dedup of collected rows: the arena's "fresh" bit is the membership
+    /// test, so repeat records cost one open-addressed probe.
+    seen: RecordArena,
     /// Distinct collected rows, first-seen order.
     pub rows: Vec<Retrieved>,
     ctx: TextContext,
@@ -93,8 +95,11 @@ impl PopulateSource {
         );
 
         // Expected page yield per query: an overflowing query fills the
-        // page (k records); a solid one returns ≈ |q(H)|̂ records.
-        let mut order: Vec<(usize, f64)> = pool
+        // page (k records); a solid one returns ≈ |q(H)|̂ records. Ties at
+        // the cap are broken by the *uncapped* estimate — among queries all
+        // expected to fill a page, the one with more estimated hidden rows
+        // behind it is the better domain probe — then by pool index.
+        let mut order: Vec<(usize, f64, f64)> = pool
             .queries()
             .iter()
             .enumerate()
@@ -108,16 +113,18 @@ impl PopulateSource {
                 } else {
                     freq_d as f64
                 };
-                (i, est_hidden.min(k as f64))
+                (i, est_hidden.min(k as f64), est_hidden)
             })
             .collect();
-        order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        order.sort_by(|a, b| {
+            b.1.total_cmp(&a.1).then(b.2.total_cmp(&a.2)).then(a.0.cmp(&b.0))
+        });
 
         Self {
             pool,
-            order: order.into_iter().map(|(i, _)| i).collect(),
+            order: order.into_iter().map(|(i, _, _)| i).collect(),
             cursor: 0,
-            seen: HashSet::new(),
+            seen: RecordArena::new(),
             rows: Vec::new(),
             ctx,
         }
@@ -133,7 +140,7 @@ impl QuerySource for PopulateSource {
 
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
         for r in &page.records {
-            if self.seen.insert(r.external_id) {
+            if self.seen.intern(r.external_id).1 {
                 self.rows.push(r.clone());
             }
         }

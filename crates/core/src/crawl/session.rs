@@ -369,7 +369,7 @@ impl QuerySource for EngineSource<'_> {
     }
 
     fn selection_stats(&self) -> SelectionStats {
-        self.engine.stats
+        self.engine.stats()
     }
 }
 

@@ -70,6 +70,7 @@
 //! assert!(report.enriched.len() <= 2);
 //! ```
 
+pub mod arena;
 pub mod context;
 pub mod crawl;
 pub mod estimate;
@@ -83,6 +84,7 @@ pub mod select;
 #[cfg(test)]
 mod fixture;
 
+pub use arena::RecordArena;
 pub use context::TextContext;
 pub use crawl::{
     CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, CrawlStep,

@@ -15,10 +15,10 @@ use crate::pool::QueryPool;
 use crate::sample::SampleIndex;
 use crate::select::{DeltaRemoval, Strategy};
 use smartcrawl_hidden::{HiddenDb, Retrieved};
-use smartcrawl_index::{ForwardIndex, LazyQueue, QueryId};
+use smartcrawl_index::{ForwardIndex, LazyQueue, QueryId, RemovalScratch};
 use smartcrawl_match::Matcher;
 use smartcrawl_par::{par_map, par_map_indexed};
-use smartcrawl_text::Document;
+use smartcrawl_text::RecordId;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,6 +38,16 @@ pub struct SelectionStats {
     pub forward_touches: usize,
     /// QSel-Ideal only: oracle cover-set evaluations.
     pub oracle_evals: usize,
+    /// Queue invalidations absorbed by the generation stamps: the entry
+    /// was already marked stale, so the extra mark cost nothing.
+    pub stamp_skips: u64,
+    /// Coalesced incremental state updates applied in place of full
+    /// recomputation: per-query `|q(D)|` / matched-count deltas (one per
+    /// touched query per removal batch) and QSel-Ideal live-cover
+    /// decrements. The ratio of this to `stale_recomputes` is how much
+    /// bookkeeping the delta path absorbed before any priority had to be
+    /// recomputed.
+    pub incremental_updates: usize,
     /// Wall time spent matching result pages against `D` (tokenization +
     /// match-index probes), in nanoseconds. Profile only — never read back
     /// into any selection decision.
@@ -90,6 +100,23 @@ pub(crate) struct Engine<'a> {
     k: usize,
     /// QSel-Ideal: covered local ids per query, computed once on demand.
     cover_cache: Vec<Option<Vec<u32>>>,
+    /// QSel-Ideal: number of *live* members of each cached cover set,
+    /// maintained incrementally under removals via `cover_queries`. Always
+    /// equals recounting `cover_cache[q]` against `live`, so the O(1) read
+    /// in `priority` is trace-identical to the recount it replaces.
+    live_cover: Vec<u32>,
+    /// QSel-Ideal inverse of the cover cache: local record → queries whose
+    /// cached cover contains it. Only members live at cache-fill time are
+    /// registered — dead records can never be removed again, so they never
+    /// need a decrement.
+    cover_queries: Vec<Vec<u32>>,
+    /// Per retrieved record (dense arena id): the local records its
+    /// document matches, liveness-unfiltered — [`LocalMatchIndex`] probes
+    /// are pure in everything but liveness, so one probe per distinct
+    /// record serves the whole crawl; callers filter by `live` at use.
+    match_memo: Vec<Option<Box<[u32]>>>,
+    /// Reusable buffers for batched forward-index removal.
+    removal_scratch: RemovalScratch,
     /// QSel-Ideal's free evaluation access.
     oracle: Option<&'a HiddenDb>,
     /// Work counters (Appendix B instrumentation).
@@ -172,6 +199,10 @@ impl<'a> Engine<'a> {
             matcher,
             k,
             cover_cache: vec![None; n_queries],
+            live_cover: vec![0; n_queries],
+            cover_queries: vec![Vec::new(); n_local],
+            match_memo: Vec::new(),
+            removal_scratch: RemovalScratch::default(),
             oracle,
             stats: SelectionStats::default(),
             ctx,
@@ -232,10 +263,21 @@ impl<'a> Engine<'a> {
             ),
             Strategy::Ideal => {
                 if self.cover_cache[i].is_none() {
-                    self.cover_cache[i] = Some(self.compute_cover(qid));
+                    let cover = self.compute_cover(qid);
+                    // Register live members in the inverse index and seed
+                    // the incremental live count; from here on removals
+                    // keep it current and this branch is an O(1) read.
+                    let mut live_members = 0u32;
+                    for &d in &cover {
+                        if self.live[d as usize] {
+                            live_members += 1;
+                            self.cover_queries[d as usize].push(qid.0);
+                        }
+                    }
+                    self.live_cover[i] = live_members;
+                    self.cover_cache[i] = Some(cover);
                 }
-                let cache = self.cover_cache[i].as_ref().expect("just filled");
-                cache.iter().filter(|&&d| self.live[d as usize]).count() as f64
+                f64::from(self.live_cover[i])
             }
         }
     }
@@ -246,48 +288,88 @@ impl<'a> Engine<'a> {
         self.stats.oracle_evals += 1;
         let oracle = self.oracle.expect("ideal strategy has an oracle");
         let keywords = self.pool.render(qid, &self.ctx);
-        let page = oracle.search(&keywords);
+        let page = oracle.search_refs(&keywords);
         let mut covered: Vec<u32> = Vec::new();
-        for r in &page {
-            // `None` liveness: the oracle cover is over all of `D`, and
-            // skipping the all-true vec avoids an `O(|D|)` allocation per
-            // evaluation. The memoized doc makes repeat appearances free.
-            let doc = self.ctx.doc_of_retrieved(r);
-            for d in self.match_index.find_matches(&doc, self.matcher, None) {
-                covered.push(d as u32);
-            }
+        for r in page {
+            // The oracle cover is over all of `D` (no liveness filter), so
+            // the memoized candidate set is usable as-is; repeat
+            // appearances of a record skip matching *and* tokenization.
+            let dense = self.ensure_candidates(r);
+            covered
+                .extend_from_slice(self.match_memo[dense as usize].as_deref().expect("ensured"));
         }
         covered.sort_unstable();
         covered.dedup();
         covered
     }
 
-    /// Absorbs the result page of issued query `qid`: computes the covered
-    /// records, applies the strategy's removal policy, and refreshes the
-    /// benefit bookkeeping.
-    pub(crate) fn process(&mut self, qid: QueryId, page: &[Retrieved]) -> ProcessOutcome {
-        // 1. Match the page against the live local records. Docs are
-        // memoized per external id, so only a record's first appearance in
-        // the crawl pays for tokenization; `page_seen` dedups within the
-        // page in O(1) per match.
+    /// Interns the retrieved record and fills its match-candidate memo
+    /// (the local records its document matches, liveness-unfiltered).
+    /// Returns the dense arena id indexing `match_memo`.
+    fn ensure_candidates(&mut self, r: &Retrieved) -> u32 {
+        let dense = self.ctx.intern_retrieved(r);
+        let di = dense as usize;
+        if self.match_memo.len() <= di {
+            self.match_memo.resize(di + 1, None);
+        }
+        if self.match_memo[di].is_none() {
+            let doc = Arc::clone(self.ctx.dense_doc(dense));
+            let cands: Vec<u32> = self
+                .match_index
+                .find_matches(&doc, self.matcher, None)
+                .into_iter()
+                .map(|d| d as u32)
+                .collect();
+            self.match_memo[di] = Some(cands.into_boxed_slice());
+        }
+        dense
+    }
+
+    /// Matches a page against the live local records through the candidate
+    /// memo: a record's first appearance in the crawl pays for
+    /// tokenization and the match-index probe, every later appearance is
+    /// an arena hit plus a memo read. `page_seen` dedups within the page
+    /// in O(1) per match and is left set for the covered records — callers
+    /// reset it sparsely via the returned `covered_now` once the removal
+    /// policy no longer needs it.
+    ///
+    /// Returns `(newly_covered, covered_now, page_dense)` where
+    /// `page_dense[i]` is the dense arena id of `page[i]`.
+    #[allow(clippy::type_complexity)] // the three parallel outputs of one page absorption
+    fn match_page(
+        &mut self,
+        page: &[Retrieved],
+    ) -> (Vec<(usize, usize)>, Vec<usize>, Vec<u32>) {
         let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
-        let page_docs: Vec<Arc<Document>> =
-            page.iter().map(|r| self.ctx.doc_of_retrieved(r)).collect();
         let mut newly_covered: Vec<(usize, usize)> = Vec::new();
         let mut covered_now: Vec<usize> = Vec::new();
-        for (pi, doc) in page_docs.iter().enumerate() {
-            for d in self.match_index.find_matches(doc, self.matcher, Some(&self.live)) {
-                if !self.page_seen[d] {
-                    self.page_seen[d] = true;
+        let mut page_dense: Vec<u32> = Vec::with_capacity(page.len());
+        for (pi, r) in page.iter().enumerate() {
+            let dense = self.ensure_candidates(r);
+            page_dense.push(dense);
+            let Self { match_memo, live, page_seen, covered, .. } = &mut *self;
+            for &d in match_memo[dense as usize].as_deref().expect("ensured") {
+                let d = d as usize;
+                if live[d] && !page_seen[d] {
+                    page_seen[d] = true;
                     covered_now.push(d);
-                    if !self.covered[d] {
-                        self.covered[d] = true;
+                    if !covered[d] {
+                        covered[d] = true;
                         newly_covered.push((d, pi));
                     }
                 }
             }
         }
         self.stats.page_match_ns += t_match.elapsed().as_nanos() as u64;
+        (newly_covered, covered_now, page_dense)
+    }
+
+    /// Absorbs the result page of issued query `qid`: computes the covered
+    /// records, applies the strategy's removal policy, and refreshes the
+    /// benefit bookkeeping.
+    pub(crate) fn process(&mut self, qid: QueryId, page: &[Retrieved]) -> ProcessOutcome {
+        // 1. Match the page against the live local records.
+        let (newly_covered, covered_now, page_dense) = self.match_page(page);
 
         // 2. Removal policy.
         let mut to_remove: Vec<usize> = covered_now.clone();
@@ -295,7 +377,7 @@ impl<'a> Engine<'a> {
         match self.strategy {
             Strategy::Simple | Strategy::Ideal => {}
             Strategy::Est { delta_removal, .. } => {
-                if self.is_solid(qid, page.len(), &page_docs, delta_removal) {
+                if self.is_solid(qid, page.len(), &page_dense, delta_removal) {
                     // §4.2: everything in q(D) that was not covered cannot
                     // be in H — predicted ΔD, remove it too.
                     to_remove.extend(
@@ -377,26 +459,10 @@ impl<'a> Engine<'a> {
     /// round's result): covered records are matched and removed, but no
     /// query-pool entry is consumed and no ΔD prediction is applied.
     pub(crate) fn process_external(&mut self, page: &[Retrieved]) -> ProcessOutcome {
-        let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
-        let mut newly_covered: Vec<(usize, usize)> = Vec::new();
-        let mut covered_now: Vec<usize> = Vec::new();
-        for (pi, r) in page.iter().enumerate() {
-            let doc = self.ctx.doc_of_retrieved(r);
-            for d in self.match_index.find_matches(&doc, self.matcher, Some(&self.live)) {
-                if !self.page_seen[d] {
-                    self.page_seen[d] = true;
-                    covered_now.push(d);
-                    if !self.covered[d] {
-                        self.covered[d] = true;
-                        newly_covered.push((d, pi));
-                    }
-                }
-            }
-        }
+        let (newly_covered, covered_now, _page_dense) = self.match_page(page);
         for &d in &covered_now {
             self.page_seen[d] = false;
         }
-        self.stats.page_match_ns += t_match.elapsed().as_nanos() as u64;
         let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let removed = self.remove_records(&covered_now);
         self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
@@ -404,29 +470,65 @@ impl<'a> Engine<'a> {
     }
 
     /// Removes records from `D`, updating frequencies, matched counts, and
-    /// queue staleness through the forward index. Returns how many were
+    /// queue staleness through the batched forward-index walk — the single
+    /// removal path shared by every strategy's ΔD policy. A query matched
+    /// by several records of the batch gets *one* coalesced frequency
+    /// delta and one queue invalidation. Returns how many records were
     /// actually removed (already-dead records are skipped).
     fn remove_records(&mut self, records: &[usize]) -> usize {
+        let Self {
+            live,
+            live_count,
+            cover_queries,
+            live_cover,
+            forward,
+            queue,
+            freq,
+            matched_cnt,
+            sample_match,
+            stats,
+            removal_scratch,
+            ..
+        } = &mut *self;
         let mut removed = 0usize;
+        let mut rids: Vec<RecordId> = Vec::with_capacity(records.len());
         for &d in records {
-            if !self.live[d] {
+            if !live[d] {
                 continue;
             }
-            self.live[d] = false;
-            self.live_count -= 1;
+            live[d] = false;
+            *live_count -= 1;
             removed += 1;
-            let had_sample_match = self.sample_match[d];
-            for &q in self.forward.queries_of(smartcrawl_text::RecordId(d as u32)) {
-                self.stats.forward_touches += 1;
-                self.freq[q.index()] = self.freq[q.index()].saturating_sub(1);
-                if had_sample_match {
-                    self.matched_cnt[q.index()] =
-                        self.matched_cnt[q.index()].saturating_sub(1);
-                }
-                self.queue.mark_dirty(q);
+            rids.push(RecordId(d as u32));
+            // QSel-Ideal: every cached cover containing `d` loses a live
+            // member — an O(1) decrement instead of a recount at the next
+            // priority read.
+            for &q in &cover_queries[d] {
+                live_cover[q as usize] -= 1;
+                stats.incremental_updates += 1;
             }
         }
+        stats.forward_touches += forward.remove_records(
+            &rids,
+            |rid| sample_match[rid.index()],
+            removal_scratch,
+            |q, count, weighted| {
+                let i = q.index();
+                freq[i] = freq[i].saturating_sub(count);
+                matched_cnt[i] = matched_cnt[i].saturating_sub(weighted);
+                queue.mark_dirty(q);
+                stats.incremental_updates += 1;
+            },
+        );
         removed
+    }
+
+    /// The engine's work counters, with the queue's internal stamp-skip
+    /// counter merged in.
+    pub(crate) fn stats(&self) -> SelectionStats {
+        let mut s = self.stats;
+        s.stamp_skips = self.queue.stamp_skips();
+        s
     }
 
     /// Whether the issued query counts as solid for ΔD removal.
@@ -443,14 +545,14 @@ impl<'a> Engine<'a> {
         &self,
         qid: QueryId,
         page_len: usize,
-        page_docs: &[Arc<Document>],
+        page_dense: &[u32],
         policy: DeltaRemoval,
     ) -> bool {
         match policy {
             DeltaRemoval::Observed => {
                 page_len < self.k || {
                     let qtokens = self.pool.query(qid).tokens();
-                    page_docs.iter().any(|d| !d.contains_all(qtokens))
+                    page_dense.iter().any(|&d| !self.ctx.dense_doc(d).contains_all(qtokens))
                 }
             }
             DeltaRemoval::Predicted => {

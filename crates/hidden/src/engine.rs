@@ -199,17 +199,38 @@ impl HiddenDb {
     /// dropped (the paper does not consider them query keywords). A query
     /// whose every keyword is unknown/stopword matches nothing.
     pub fn search(&self, keywords: &[String]) -> Vec<Retrieved> {
-        let tokens = self.normalize(keywords);
+        self.search_ids(keywords).into_iter().map(|rid| self.retrieve(rid)).collect()
+    }
+
+    /// [`HiddenDb::search`] without materializing owned records: the same
+    /// top-`k` page as borrowed views. The QSel-Ideal oracle sits on the
+    /// selection hot path and evaluates tens of thousands of queries whose
+    /// pages are only *read* (to compute covers), so skipping the per-record
+    /// clone is measurable.
+    pub fn search_refs(&self, keywords: &[String]) -> Vec<&Retrieved> {
+        self.search_ids(keywords)
+            .into_iter()
+            // lint:allow(panic-freedom) search_ids yields RecordIds this engine minted over the same arrays
+            .map(|rid| &self.retrieved[rid.index()])
+            .collect()
+    }
+
+    /// The top-`k` page as internal record ids, engine-rank order.
+    fn search_ids(&self, keywords: &[String]) -> Vec<RecordId> {
         match self.mode {
             SearchMode::Conjunctive => {
                 // A keyword outside the vocabulary is contained in no
                 // record, so the conjunctive query matches nothing.
-                if tokens.is_empty() || self.has_unknown_keyword(keywords) {
+                let Some(tokens) = self.normalize_conjunctive(keywords) else {
+                    return Vec::new();
+                };
+                if tokens.is_empty() {
                     return Vec::new();
                 }
-                self.search_conjunctive(&tokens)
+                self.top_k(self.index.matching(&tokens))
             }
             SearchMode::Disjunctive => {
+                let tokens = self.normalize(keywords);
                 if tokens.is_empty() {
                     return Vec::new();
                 }
@@ -221,11 +242,10 @@ impl HiddenDb {
     /// `|q(H)|` under *conjunctive* semantics — ground truth for tests and
     /// oracle estimators; a real hidden database never reveals this.
     pub fn true_frequency(&self, keywords: &[String]) -> usize {
-        let tokens = self.normalize(keywords);
-        if tokens.is_empty() || self.has_unknown_keyword(keywords) {
-            return 0;
+        match self.normalize_conjunctive(keywords) {
+            Some(tokens) if !tokens.is_empty() => self.index.frequency(&tokens),
+            _ => 0,
         }
-        self.index.frequency(&tokens)
     }
 
     fn normalize(&self, keywords: &[String]) -> Vec<TokenId> {
@@ -242,25 +262,31 @@ impl HiddenDb {
             .collect();
         tokens.sort_unstable();
         tokens.dedup();
-        // Keywords unknown to the vocabulary vanish here; `search` pairs
-        // this with `has_unknown_keyword` so conjunctive queries containing
-        // one correctly match nothing.
+        // Keywords unknown to the vocabulary vanish here; disjunctive
+        // queries simply ignore them (they match no posting list), so no
+        // separate unknown-keyword check is needed on that path.
         tokens
     }
 
-    /// Whether any query keyword fails to normalize to a known token.
-    fn has_unknown_keyword(&self, keywords: &[String]) -> bool {
-        keywords.iter().any(|kw| {
-            self.tokenizer.raw_tokens(kw).any(|t| self.vocab.get(&t).is_none())
-        })
+    /// Normalizes under *conjunctive* semantics: `None` as soon as any
+    /// keyword token is unknown to the vocabulary (such a query matches
+    /// nothing), otherwise the sorted deduplicated token set. One
+    /// tokenization pass where `normalize` + a separate unknown-keyword
+    /// scan used to do two — this sits on the oracle-evaluation hot path,
+    /// where queries are re-scored after every removal.
+    fn normalize_conjunctive(&self, keywords: &[String]) -> Option<Vec<TokenId>> {
+        let mut tokens: Vec<TokenId> = Vec::new();
+        for kw in keywords {
+            for t in self.tokenizer.raw_tokens(kw) {
+                tokens.push(self.vocab.get(&t)?);
+            }
+        }
+        tokens.sort_unstable();
+        tokens.dedup();
+        Some(tokens)
     }
 
-    fn search_conjunctive(&self, tokens: &[TokenId]) -> Vec<Retrieved> {
-        let matches = self.index.matching(tokens);
-        self.top_k(matches)
-    }
-
-    fn search_disjunctive(&self, tokens: &[TokenId]) -> Vec<Retrieved> {
+    fn search_disjunctive(&self, tokens: &[TokenId]) -> Vec<RecordId> {
         // Count distinct query tokens per candidate record.
         let mut hits: HashMap<RecordId, u32> = HashMap::new();
         for &t in tokens {
@@ -281,17 +307,17 @@ impl HiddenDb {
             (std::cmp::Reverse(full), self.rank_pos[rid.index()])
         });
         scored.truncate(self.k);
-        scored.into_iter().map(|(rid, _)| self.retrieve(rid)).collect()
+        scored.into_iter().map(|(rid, _)| rid).collect()
     }
 
-    fn top_k(&self, mut matches: Vec<RecordId>) -> Vec<Retrieved> {
+    fn top_k(&self, mut matches: Vec<RecordId>) -> Vec<RecordId> {
         if matches.len() > self.k {
             let k = self.k;
             matches.select_nth_unstable_by_key(k, |&rid| self.rank_pos[rid.index()]);
             matches.truncate(k);
         }
         matches.sort_unstable_by_key(|&rid| self.rank_pos[rid.index()]);
-        matches.into_iter().map(|rid| self.retrieve(rid)).collect()
+        matches
     }
 
     fn retrieve(&self, rid: RecordId) -> Retrieved {

@@ -102,7 +102,7 @@ impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
             return Err(SearchError::Transient);
         }
         if let Some(n) = self.rate_limit_every {
-            if (self.served + 1) % n == 0 {
+            if (self.served + 1).is_multiple_of(n) {
                 self.served += 1;
                 self.rate_limit_failures += 1;
                 return Err(SearchError::RateLimited);

@@ -55,69 +55,137 @@ impl InvertedIndex {
     /// token of `query`. An empty query matches nothing by convention (the
     /// pool never contains the empty query).
     pub fn matching(&self, query: &[TokenId]) -> Vec<RecordId> {
-        if query.is_empty() {
-            return Vec::new();
-        }
-        let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
-        lists.sort_unstable_by_key(|l| l.len());
-        let Some((seed, rest)) = lists.split_first() else { return Vec::new() };
-        if seed.is_empty() {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(seed.len());
-        'cand: for &rid in *seed {
-            for list in rest {
-                if !gallop_contains(list, rid) {
-                    continue 'cand;
-                }
-            }
-            out.push(rid);
-        }
-        out
+        self.intersect(query, |out, rid| out.push(rid))
     }
 
     /// `|q(D)|` without materializing the match set.
     pub fn frequency(&self, query: &[TokenId]) -> usize {
-        if query.is_empty() {
-            return 0;
+        match query {
+            [] => 0,
+            // Single-token fast path: the posting list length IS the
+            // frequency — no need to walk the list.
+            [t] => self.postings(*t).len(),
+            _ => {
+                let mut n = 0usize;
+                self.intersect(query, |_, _| n += 1);
+                n
+            }
         }
-        let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
-        lists.sort_unstable_by_key(|l| l.len());
-        let Some((seed, rest)) = lists.split_first() else { return 0 };
-        seed.iter()
-            .filter(|&&rid| rest.iter().all(|list| gallop_contains(list, rid)))
-            .count()
     }
 
     /// Whether at least one document satisfies the query.
     pub fn any_match(&self, query: &[TokenId]) -> bool {
+        match query {
+            [] => false,
+            [t] => !self.postings(*t).is_empty(),
+            _ => {
+                let mut found = false;
+                // The cursor walk cannot early-exit through the callback,
+                // but a non-empty intersection usually hits within the
+                // first few seed candidates anyway.
+                self.intersect(query, |_, _| found = true);
+                found
+            }
+        }
+    }
+
+    /// Cursor-galloping k-way intersection: walks the smallest posting
+    /// list and advances one monotone cursor per remaining list with
+    /// exponential search *from the cursor* — consecutive seed candidates
+    /// are ascending, so no list position is ever re-scanned and the total
+    /// work is bounded by the sum of list lengths (instead of
+    /// `|seed| · log` with from-the-start restarts per candidate). `emit`
+    /// receives each matching id in ascending order; the returned buffer
+    /// is whatever `emit` pushed (empty for counting callers).
+    fn intersect(
+        &self,
+        query: &[TokenId],
+        mut emit: impl FnMut(&mut Vec<RecordId>, RecordId),
+    ) -> Vec<RecordId> {
+        let mut out = Vec::new();
         if query.is_empty() {
-            return false;
+            return out;
         }
         let mut lists: Vec<&[RecordId]> = query.iter().map(|&t| self.postings(t)).collect();
         lists.sort_unstable_by_key(|l| l.len());
-        let Some((seed, rest)) = lists.split_first() else { return false };
-        seed.iter().any(|&rid| rest.iter().all(|list| gallop_contains(list, rid)))
+        let Some((&seed, rest)) = lists.split_first() else { return out };
+        if seed.is_empty() {
+            return out;
+        }
+        if rest.is_empty() {
+            for &rid in seed {
+                emit(&mut out, rid);
+            }
+            return out;
+        }
+        // Pairwise fast path (the dominant shape: two-keyword mined
+        // queries): when the lists are within a galloping-overhead factor
+        // of each other, a branchy two-pointer merge touches every element
+        // once and beats per-candidate exponential search; heavily skewed
+        // pairs still gallop.
+        if let [other] = rest {
+            if other.len() / seed.len().max(1) < 16 {
+                let (mut i, mut j) = (0usize, 0usize);
+                while let (Some(&a), Some(&b)) = (seed.get(i), other.get(j)) {
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            emit(&mut out, a);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                return out;
+            }
+        }
+        let mut cursors = vec![0usize; rest.len()];
+        'cand: for &rid in seed {
+            for (cursor, &list) in cursors.iter_mut().zip(rest) {
+                *cursor = gallop_advance(list, *cursor, rid);
+                if *cursor == list.len() {
+                    // No element >= rid remains in this list, so no later
+                    // (larger) seed candidate can match either.
+                    break 'cand;
+                }
+                // lint:allow(panic-freedom) gallop_advance returns an index <= list.len(), and == was handled above
+                if list[*cursor] != rid {
+                    continue 'cand;
+                }
+            }
+            emit(&mut out, rid);
+        }
+        out
     }
 }
 
-/// Galloping membership probe on a sorted slice.
-fn gallop_contains(list: &[RecordId], target: RecordId) -> bool {
-    match list.first() {
-        None => return false,
-        Some(&f) if f == target => return true,
-        Some(&f) if f > target => return false,
-        _ => {}
+/// Index of the first element of `list[start..]` that is `>= target`, as an
+/// absolute index (`list.len()` if none). Exponential widening from
+/// `start`, then binary search inside the final window — O(log distance)
+/// in how far the cursor actually moves, which is what makes the monotone
+/// intersection cursor cheap.
+fn gallop_advance(list: &[RecordId], start: usize, target: RecordId) -> usize {
+    if list.get(start).is_none_or(|&v| v >= target) {
+        return start;
     }
-    // Exponentially widen until list[hi] >= target (or the end), then binary
-    // search the inclusive window [hi/2, hi].
-    let mut hi = 1usize;
-    while list.get(hi).is_some_and(|&v| v < target) {
-        hi <<= 1;
+    // Invariant: list[start + lo] < target; widen hi until it crosses.
+    let mut step = 1usize;
+    let mut lo = 0usize;
+    loop {
+        let probe = start + step;
+        match list.get(probe) {
+            Some(&v) if v < target => {
+                lo = step;
+                step <<= 1;
+            }
+            _ => break,
+        }
     }
-    let lo = hi >> 1;
-    let end = (hi + 1).min(list.len());
-    list.get(lo..end).is_some_and(|w| w.binary_search(&target).is_ok())
+    // lint:allow(panic-freedom) list[start + lo] < target was just probed, so start + lo < len; the end is clamped to len
+    let tail = &list[start + lo..(start + step + 1).min(list.len())];
+    let off = tail.partition_point(|&v| v < target);
+    start + lo + off
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ pub mod forward;
 pub mod inverted;
 pub mod lazy_queue;
 
-pub use forward::ForwardIndex;
+pub use forward::{ForwardIndex, RemovalScratch};
 pub use inverted::InvertedIndex;
 pub use lazy_queue::LazyQueue;
 

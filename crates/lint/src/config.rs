@@ -19,6 +19,11 @@ pub struct Config {
     /// `smartcrawl-par` so chunking and merge order stay thread-count
     /// independent.
     pub thread_runtime_paths: Vec<String>,
+    /// Path prefixes where keyed std containers (`HashMap`/`BTreeMap`/…)
+    /// are banned outright: the selection hot path indexes flat arrays by
+    /// interned dense ids, and a keyed probe re-entering it is a silent
+    /// perf regression.
+    pub dense_hot_paths: Vec<String>,
     /// Run only these rules (`None` = all).
     pub only_rules: Option<Vec<String>>,
 }
@@ -45,6 +50,7 @@ impl Default for Config {
                 "crates/core/src/nch.rs".into(),
             ],
             thread_runtime_paths: vec!["crates/par/".into()],
+            dense_hot_paths: vec!["crates/core/src/select/".into()],
             only_rules: None,
         }
     }

@@ -108,7 +108,7 @@ impl<'a> Lexer<'a> {
         if b == b'\n' {
             self.line += 1;
             self.col = 1;
-        } else if b < 0x80 || b >= 0xC0 {
+        } else if !(0x80..0xC0).contains(&b) {
             // Count characters, not UTF-8 continuation bytes.
             self.col += 1;
         }
@@ -183,7 +183,7 @@ impl<'a> Lexer<'a> {
         }
         self.bump(); // opening quote
         let closer: Vec<u8> =
-            std::iter::once(b'"').chain(std::iter::repeat(b'#').take(hashes)).collect();
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
         while self.pos < self.bytes.len() {
             if self.rest().starts_with(&closer) {
                 self.bump_n(closer.len());

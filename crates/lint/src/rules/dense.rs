@@ -1,0 +1,98 @@
+//! `dense-hot-path`: the selection hot path must index flat arrays by
+//! interned dense ids, not probe keyed maps.
+//!
+//! The dense-arena refactor replaced every `HashMap`/`BTreeMap` keyed
+//! lookup in `crates/core/src/select/` with `Vec` indexing over
+//! `RecordArena` dense ids (record memos), `QueryId` (per-query state),
+//! and `RecordId` (per-local-record state). A keyed map re-entering the
+//! hot loop is how that regresses silently: the code still works, the
+//! digests still match, and the per-pop cost quietly grows a hash and a
+//! pointer chase. This rule flags any mention of a std keyed container
+//! (`HashMap`, `HashSet`, `BTreeMap`, `BTreeSet`) in non-test code under
+//! the configured hot-path prefixes — declaring one there is the
+//! violation; it does not wait for a lookup. A genuinely necessary map
+//! (e.g. a cold-path cache keyed by something that cannot be interned)
+//! must carry an inline `lint:allow(dense-hot-path)` with the reason.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::emit;
+use crate::source::{FileKind, SourceFile};
+
+const KEYED_CONTAINERS: [&str; 4] = ["HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+pub fn check(file: &SourceFile<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Test {
+        return;
+    }
+    if !cfg.dense_hot_paths.iter().any(|p| file.path.starts_with(p.as_str())) {
+        return;
+    }
+    let n = file.code.len();
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        if file.in_test_code(tok.offset) {
+            continue;
+        }
+        if KEYED_CONTAINERS.contains(&tok.text) {
+            emit(
+                out,
+                file,
+                "dense-hot-path",
+                tok.line,
+                tok.col,
+                format!(
+                    "`{}` in the selection hot path — intern to dense ids and \
+                     index flat arrays (RecordArena / QueryId / RecordId); a \
+                     genuinely keyed cold-path map needs a lint:allow",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_keyed_containers_in_select() {
+        let src = "use std::collections::HashMap;\nstruct S { memo: HashMap<u64, u32> }";
+        let d = diags("crates/core/src/select/engine.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}"); // the use and the field
+        assert!(d[0].message.contains("dense ids"));
+    }
+
+    #[test]
+    fn flags_btree_variants_too() {
+        let src = "fn f() { let m = std::collections::BTreeMap::new(); let s: BTreeSet<u32> = Default::default(); }";
+        assert_eq!(diags("crates/core/src/select/mod.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn other_paths_are_out_of_scope() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert!(diags("crates/core/src/pool.rs", src).is_empty());
+        assert!(diags("crates/hidden/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_inside_hot_path_files_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let m: HashMap<u32, u32> = HashMap::new(); }\n}";
+        assert!(diags("crates/core/src/select/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn dense_structures_pass() {
+        let src = "struct S { live_cover: Vec<u32>, memo: Vec<Option<Box<[u32]>>> }";
+        assert!(diags("crates/core/src/select/engine.rs", src).is_empty());
+    }
+}

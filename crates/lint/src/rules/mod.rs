@@ -8,13 +8,14 @@ use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
 mod budget;
+mod dense;
 mod determinism;
 mod floats;
 mod panic_free;
 
 /// The checkable rule ids, in reporting order.
-pub const RULES: [&str; 4] =
-    ["budget-safety", "determinism", "panic-freedom", "float-hygiene"];
+pub const RULES: [&str; 5] =
+    ["budget-safety", "determinism", "panic-freedom", "float-hygiene", "dense-hot-path"];
 
 /// Meta rules emitted by the suppression/allowlist machinery itself.
 pub const META_RULES: [&str; 3] =
@@ -41,6 +42,9 @@ pub fn run_all(file: &SourceFile<'_>, cfg: &Config) -> Vec<Diagnostic> {
     }
     if cfg.rule_enabled("float-hygiene") {
         floats::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("dense-hot-path") {
+        dense::check(file, cfg, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);

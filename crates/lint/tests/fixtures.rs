@@ -28,7 +28,7 @@ fn lint_fixture(name: &str, as_path: &str) -> (Vec<Diagnostic>, usize) {
     lint_source(as_path, &fixture(name), &Config::default())
 }
 
-fn lines_of<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<u32> {
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
     diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
 }
 

@@ -36,7 +36,7 @@ fn main() {
     let hidden = HiddenDbBuilder::new()
         .k(10)
         .records(tuples.iter().enumerate().map(|(i, (v, y, t))| {
-            let year: f64 = y.parse().unwrap();
+            let year: f64 = y.parse().expect("generated year is numeric");
             HiddenRecord::new(
                 i as u64,
                 form.encode_record(&[v, y, t]),

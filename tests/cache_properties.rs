@@ -111,11 +111,12 @@ fn run_approach<I: SearchInterface>(
 const APPROACHES: [&str; 7] =
     ["smart-b", "simple", "ideal", "naive", "full", "online", "populate"];
 
+/// One observable crawl step: keywords, returned external ids, full-page flag.
+type StepSurface = (Vec<String>, Vec<deeper::hidden::ExternalId>, bool);
+
 /// The observable surface of a crawl, extracted for equality checks
 /// (`CrawlStep` itself doesn't implement `PartialEq`).
-fn surface(
-    report: &CrawlReport,
-) -> (Vec<(Vec<String>, Vec<deeper::hidden::ExternalId>, bool)>, usize, usize) {
+fn surface(report: &CrawlReport) -> (Vec<StepSurface>, usize, usize) {
     let steps = report
         .steps
         .iter()

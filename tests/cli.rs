@@ -6,8 +6,8 @@ use std::process::Command;
 
 fn write_file(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
     let path = dir.join(name);
-    let mut f = std::fs::File::create(&path).unwrap();
-    f.write_all(content.as_bytes()).unwrap();
+    let mut f = std::fs::File::create(&path).expect("create fixture file");
+    f.write_all(content.as_bytes()).expect("write fixture file");
     path
 }
 

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` benchmark harness, covering the
+//! API subset `crates/bench/benches/microbench.rs` uses.
+//!
+//! The build container has no registry access, so the workspace wires this
+//! crate in by path (see the root `Cargo.toml`). It implements a plain
+//! warm-up + timed-samples loop and prints a median per-iteration time for
+//! each benchmark. There are no statistical comparisons, plots, or saved
+//! baselines — the tracked perf numbers live in `BENCH_selection.json`,
+//! produced by `bench_perf`; this harness exists so `cargo bench` compiles
+//! and gives a usable quick reading.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), budget: self.budget_per_sample() };
+
+        // Warm-up: run the routine until the warm-up clock expires.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            b.samples.clear();
+            f(&mut b);
+        }
+
+        // Measurement: collect per-iteration samples.
+        let mut all = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.samples.clear();
+            f(&mut b);
+            all.extend(b.samples.iter().copied());
+        }
+        all.sort_unstable();
+        let median = if all.is_empty() { Duration::ZERO } else { all[all.len() / 2] };
+        println!("bench: {id:<45} median {:>12.3} µs", median.as_nanos() as f64 / 1_000.0);
+        self
+    }
+
+    fn budget_per_sample(&self) -> Duration {
+        self.measurement_time / (self.sample_size.max(1) as u32)
+    }
+}
+
+/// Batch-size hint for `iter_batched`; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the per-sample budget is
+    /// spent, recording per-iteration durations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the input with `setup` before
+    /// every call so the routine may consume it.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u32;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u32, 2, 3], |v| v.into_iter().sum::<u32>(), BatchSize::SmallInput)
+        });
+    }
+}
