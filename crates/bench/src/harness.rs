@@ -3,12 +3,14 @@
 //! Approaches").
 
 use crate::eval::{coverage_curve, Curve};
+use smartcrawl_cache::{CachedInterface, QueryCache};
 use smartcrawl_core::crawl::{
     full_crawl_with, ideal_crawl_with, naive_crawl_with, smart_crawl_with, CrawlObserver,
     CrawlReport, IdealCrawlConfig, NullObserver, SmartCrawlConfig,
 };
-use smartcrawl_core::{DeltaRemoval, LocalDb, PoolConfig, Strategy, TextContext};
-use smartcrawl_cache::{CachedInterface, QueryCache};
+use smartcrawl_core::{
+    DeltaRemoval, IndexBackendConfig, LocalDb, PoolConfig, Strategy, TextContext,
+};
 use smartcrawl_data::Scenario;
 use smartcrawl_hidden::{FlakyInterface, Metered, RetryPolicy, SearchInterface};
 use smartcrawl_match::Matcher;
@@ -75,6 +77,11 @@ pub struct RunSpec {
     /// Pre-built sample overriding `theta` (e.g. from the pool-based
     /// sampler in the Yelp experiment).
     pub sample_override: Option<HiddenSample>,
+    /// Index storage backend: RAM-resident (default) or the out-of-core
+    /// paged store. Shards are contiguous record-id ranges, so crawl
+    /// results are byte-identical either way; only memory residency and
+    /// the report's `store` block differ.
+    pub backend: IndexBackendConfig,
 }
 
 impl RunSpec {
@@ -98,6 +105,7 @@ impl RunSpec {
             omega: 1.0,
             seed: 0,
             sample_override: None,
+            backend: IndexBackendConfig::Ram,
         }
     }
 }
@@ -134,8 +142,13 @@ pub fn run_specs(scenario: &Scenario, specs: &[RunSpec]) -> Vec<RunOutcome> {
 /// [`run_approach`], also returning the raw crawl report.
 pub fn run_approach_report(scenario: &Scenario, spec: &RunSpec) -> RunOutcome {
     let mut iface = Metered::new(&scenario.hidden, Some(spec.budget));
-    let report =
-        dispatch(scenario, spec, &mut iface, RetryPolicy::none(), &mut NullObserver);
+    let report = dispatch(
+        scenario,
+        spec,
+        &mut iface,
+        RetryPolicy::none(),
+        &mut NullObserver,
+    );
     outcome(scenario, spec, report)
 }
 
@@ -169,10 +182,14 @@ pub fn run_approach_cached(
     spec: &RunSpec,
     cache: &mut QueryCache,
 ) -> RunOutcome {
-    let mut iface =
-        CachedInterface::new(cache, Metered::new(&scenario.hidden, Some(spec.budget)));
-    let report =
-        dispatch(scenario, spec, &mut iface, RetryPolicy::none(), &mut NullObserver);
+    let mut iface = CachedInterface::new(cache, Metered::new(&scenario.hidden, Some(spec.budget)));
+    let report = dispatch(
+        scenario,
+        spec,
+        &mut iface,
+        RetryPolicy::none(),
+        &mut NullObserver,
+    );
     outcome(scenario, spec, report)
 }
 
@@ -200,8 +217,12 @@ pub fn run_approach_cached_flaky(
 }
 
 fn outcome(scenario: &Scenario, spec: &RunSpec, report: CrawlReport) -> RunOutcome {
-    let curve =
-        coverage_curve(spec.approach.label(), &report, &scenario.truth, &spec.checkpoints);
+    let curve = coverage_curve(
+        spec.approach.label(),
+        &report,
+        &scenario.truth,
+        &spec.checkpoints,
+    );
     RunOutcome { curve, report }
 }
 
@@ -215,7 +236,8 @@ fn dispatch<I: SearchInterface>(
     observer: &mut dyn CrawlObserver,
 ) -> CrawlReport {
     let mut ctx = TextContext::new();
-    let local = LocalDb::build(scenario.local.clone(), &mut ctx);
+    let local = LocalDb::build_with(scenario.local.clone(), &mut ctx, &spec.backend)
+        .expect("index backend build failed");
 
     let smart_sample = |theta: f64| -> HiddenSample {
         match &spec.sample_override {
@@ -224,7 +246,7 @@ fn dispatch<I: SearchInterface>(
         }
     };
 
-    match spec.approach {
+    let mut report = match spec.approach {
         Approach::Ideal => ideal_crawl_with(
             &local,
             iface,
@@ -254,12 +276,20 @@ fn dispatch<I: SearchInterface>(
                     },
                     smart_sample(spec.theta),
                 ),
-                Approach::Simple => {
-                    (Strategy::Simple, HiddenSample { records: vec![], theta: 0.0 })
-                }
-                Approach::Bound => {
-                    (Strategy::Bound, HiddenSample { records: vec![], theta: 0.0 })
-                }
+                Approach::Simple => (
+                    Strategy::Simple,
+                    HiddenSample {
+                        records: vec![],
+                        theta: 0.0,
+                    },
+                ),
+                Approach::Bound => (
+                    Strategy::Bound,
+                    HiddenSample {
+                        records: vec![],
+                        theta: 0.0,
+                    },
+                ),
                 _ => unreachable!(),
             };
             smart_crawl_with(
@@ -301,7 +331,54 @@ fn dispatch<I: SearchInterface>(
                 ctx,
             )
         }
+    };
+    // Disk runs carry the page-cache residency numbers out through the
+    // report; the RAM backend has no store and the field stays None. The
+    // stats are schedule-dependent (hit/miss order varies with thread
+    // interleaving) and are never folded into result digests.
+    report.store = local.store_report();
+    report
+}
+
+/// FNV-1a over everything result-bearing in a sweep's outcomes: curves,
+/// issued queries, returned pages, enrichment pairs, and event tallies.
+/// Deliberately excludes timings and store cache statistics — those vary
+/// with scheduling — so the digest is the cross-thread-count and
+/// cross-backend determinism check.
+pub fn digest_outcomes(outcomes: &[RunOutcome]) -> u64 {
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            digest = (digest ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for o in outcomes {
+        for (&b, &c) in o.curve.budgets.iter().zip(&o.curve.covered) {
+            fold(b as u64);
+            fold(c as u64);
+        }
+        for step in &o.report.steps {
+            fold(step.keywords.len() as u64);
+            for kw in &step.keywords {
+                for b in kw.bytes() {
+                    fold(u64::from(b));
+                }
+            }
+            for r in &step.returned {
+                fold(r.0);
+            }
+            fold(u64::from(step.full_page));
+        }
+        for e in &o.report.enriched {
+            fold(e.local as u64);
+            fold(e.external.0);
+        }
+        fold(o.report.records_removed as u64);
+        fold(o.report.events.queries_issued as u64);
+        fold(o.report.events.matched as u64);
+        fold(o.report.events.records_removed as u64);
     }
+    digest
 }
 
 #[cfg(test)]
@@ -377,6 +454,59 @@ mod tests {
             (flaky_cov - clean_at_served).abs() <= 1,
             "flaky coverage {flaky_cov} vs clean-at-{served} {clean_at_served}"
         );
+    }
+
+    #[test]
+    fn disk_backend_reproduces_ram_results_exactly() {
+        // The store acceptance check at harness level: the same sweep run
+        // on the RAM index and on the paged disk store must digest
+        // identically — shards are contiguous record ranges, so the merge
+        // is the sorted match set either way.
+        let s = smartcrawl_data::Scenario::build(ScenarioConfig::tiny(11));
+        let specs: Vec<RunSpec> = [Approach::SmartB, Approach::Bound, Approach::Full]
+            .into_iter()
+            .map(|a| {
+                let mut spec = RunSpec::new(a, 12);
+                spec.theta = 0.05;
+                spec
+            })
+            .collect();
+        let ram = digest_outcomes(&run_specs(&s, &specs));
+        let disk_specs: Vec<RunSpec> = specs
+            .iter()
+            .map(|spec| {
+                let mut d = spec.clone();
+                // A deliberately tiny cache so eviction paths run in-test.
+                d.backend = IndexBackendConfig::Disk(smartcrawl_core::StoreConfig {
+                    page_size: 256,
+                    cache_pages: 8,
+                    shards: 3,
+                    ..Default::default()
+                });
+                d
+            })
+            .collect();
+        let disk_outcomes = run_specs(&s, &disk_specs);
+        assert_eq!(
+            ram,
+            digest_outcomes(&disk_outcomes),
+            "disk backend diverged from RAM"
+        );
+        // Every disk run reports its store; the sweep as a whole must
+        // have gone to disk (an individual approach may never probe the
+        // inverted index, e.g. a pool-free baseline with exact matching).
+        let misses: u64 = disk_outcomes
+            .iter()
+            .map(|o| {
+                o.report
+                    .store
+                    .as_ref()
+                    .expect("disk runs report store stats")
+                    .stats
+                    .misses
+            })
+            .sum();
+        assert!(misses > 0, "pages must have been read from disk");
     }
 
     #[test]

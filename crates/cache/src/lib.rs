@@ -36,4 +36,8 @@ pub mod store;
 
 pub use cached::CachedInterface;
 pub use persist::{load_cache, save_cache};
+// The shared on-disk format primitives this crate's text layout builds
+// on, re-exported so downstream text stores need not depend on
+// `smartcrawl-store` directly.
+pub use smartcrawl_store::format;
 pub use store::{CachePolicy, QueryCache};

@@ -20,47 +20,15 @@
 
 use crate::store::{CachePolicy, QueryCache};
 use smartcrawl_hidden::{ExternalId, Retrieved, SearchPage};
+// One shared format module for the whole workspace: the escape grammar
+// and the InvalidData rejection shape come from `smartcrawl-store`'s
+// format primitives (which the paged binary layout also builds on), so
+// the text and binary stores cannot drift apart.
+use smartcrawl_store::format::{escape, invalid_data as bad, unescape};
 use std::io::{BufRead, Write};
 use std::path::Path;
 
 const MAGIC: &str = "#smartcrawl-query-cache v1";
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next()? {
-                '\\' => out.push('\\'),
-                't' => out.push('\t'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                _ => return None,
-            }
-        } else {
-            out.push(c);
-        }
-    }
-    Some(out)
-}
-
-fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
-}
 
 /// Writes the store to `path` (LRU-first entry order).
 pub fn save_cache(path: impl AsRef<Path>, cache: &QueryCache) -> std::io::Result<()> {
@@ -73,7 +41,13 @@ pub fn save_cache(path: impl AsRef<Path>, cache: &QueryCache) -> std::io::Result
             write!(f, "\t{}", escape(kw))?;
         }
         for r in &page.records {
-            write!(f, "\t{}\t{}\t{}", r.external_id.0, r.fields.len(), r.payload.len())?;
+            write!(
+                f,
+                "\t{}\t{}\t{}",
+                r.external_id.0,
+                r.fields.len(),
+                r.payload.len()
+            )?;
             for cell in r.fields.iter().chain(r.payload.iter()) {
                 write!(f, "\t{}", escape(cell))?;
             }
@@ -94,7 +68,10 @@ pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Resul
     if lines.next().transpose()?.as_deref() != Some(MAGIC) {
         return Err(bad("not a smartcrawl query-cache file"));
     }
-    let count_line = lines.next().transpose()?.ok_or_else(|| bad("missing entry count"))?;
+    let count_line = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| bad("missing entry count"))?;
     let declared: usize = count_line
         .strip_prefix("entries\t")
         .and_then(|v| v.parse().ok())
@@ -114,7 +91,9 @@ pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Resul
         let nrec: usize = nrec_cell.parse().map_err(|_| bad("bad record count"))?;
         let mut cursor = 2usize;
         let take = |cursor: &mut usize, cells: &[&str]| -> std::io::Result<String> {
-            let cell = cells.get(*cursor).ok_or_else(|| bad("entry arity mismatch"))?;
+            let cell = cells
+                .get(*cursor)
+                .ok_or_else(|| bad("entry arity mismatch"))?;
             *cursor += 1;
             unescape(cell).ok_or_else(|| bad("bad escape sequence"))
         };
@@ -127,10 +106,12 @@ pub fn load_cache(path: impl AsRef<Path>, policy: CachePolicy) -> std::io::Resul
             let id: u64 = take(&mut cursor, &cells)?
                 .parse()
                 .map_err(|_| bad("bad external id"))?;
-            let nf: usize =
-                take(&mut cursor, &cells)?.parse().map_err(|_| bad("bad field count"))?;
-            let np: usize =
-                take(&mut cursor, &cells)?.parse().map_err(|_| bad("bad payload count"))?;
+            let nf: usize = take(&mut cursor, &cells)?
+                .parse()
+                .map_err(|_| bad("bad field count"))?;
+            let np: usize = take(&mut cursor, &cells)?
+                .parse()
+                .map_err(|_| bad("bad payload count"))?;
             let mut texts = Vec::with_capacity(nf + np);
             for _ in 0..nf + np {
                 texts.push(take(&mut cursor, &cells)?);
@@ -156,8 +137,10 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir()
-            .join(format!("smartcrawl_cache_persist_{}_{name}", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "smartcrawl_cache_persist_{}_{name}",
+            std::process::id()
+        ))
     }
 
     fn page(texts: &[&str]) -> SearchPage {
@@ -247,13 +230,19 @@ mod tests {
         save_cache(&path, &sample_store()).unwrap();
         let small = load_cache(
             &path,
-            CachePolicy { capacity: 2, ..Default::default() },
+            CachePolicy {
+                capacity: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(small.len(), 2, "oldest entry evicted on load");
         let no_neg = load_cache(
             &path,
-            CachePolicy { cache_negative: false, ..Default::default() },
+            CachePolicy {
+                cache_negative: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(no_neg.len(), 2, "negative page dropped on load");

@@ -36,8 +36,7 @@ pub use clean::{suggest_corrections, Correction};
 pub use full::{full_crawl, full_crawl_with, FullSource};
 pub use naive::{naive_crawl, naive_crawl_with, NaiveSource};
 pub use observe::{
-    CountingObserver, CrawlEvent, CrawlObserver, EventCounts, EventStamp, NullObserver,
-    TraceLog,
+    CountingObserver, CrawlEvent, CrawlObserver, EventCounts, EventStamp, NullObserver, TraceLog,
 };
 pub use online::{online_smart_crawl, online_smart_crawl_with, OnlineCrawlConfig, OnlineSource};
 pub use populate::{
@@ -105,6 +104,11 @@ pub struct CrawlReport {
     /// interface stack. Always this run's *delta*, even when the cache
     /// store is shared across runs (warm sweeps).
     pub cache: Option<smartcrawl_hidden::CacheStats>,
+    /// Page-cache activity of the on-disk index backend — `None` on the
+    /// (default) RAM backend. Attached by the bench harness after the
+    /// crawl; cache statistics are schedule-dependent, so they are
+    /// reported but never folded into result digests.
+    pub store: Option<smartcrawl_store::StoreReport>,
 }
 
 impl CrawlReport {

@@ -87,8 +87,8 @@ mod fixture;
 pub use arena::RecordArena;
 pub use context::TextContext;
 pub use crawl::{
-    CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, CrawlStep,
-    EventCounts, EventStamp, NullObserver, PhaseTimings, QuerySource, TraceLog,
+    CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, CrawlStep, EventCounts,
+    EventStamp, NullObserver, PhaseTimings, QuerySource, TraceLog,
 };
 pub use estimate::{Estimator, EstimatorKind};
 pub use local::{LocalDb, LocalMatchIndex};
@@ -97,3 +97,4 @@ pub use pool::{PoolConfig, PoolStats, QueryPool};
 pub use query::Query;
 pub use sample::SampleIndex;
 pub use select::{probe_engine_setup, DeltaRemoval, SelectionStats, SetupProbe, Strategy};
+pub use smartcrawl_store::{IndexBackendConfig, StoreConfig, StoreReport, StoreStats};

@@ -1,28 +1,63 @@
 //! The local database `D` and matching returned pages against it.
 
 use crate::context::TextContext;
-use smartcrawl_index::InvertedIndex;
 use smartcrawl_match::Matcher;
+use smartcrawl_store::{AnyForward, AnyPostings, IndexBackendConfig, StoreReport, StoreRuntime};
 use smartcrawl_text::similarity::jaccard;
 use smartcrawl_text::{Document, Record, RecordId, TokenId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The indexed local database: records, their documents, and an inverted
 /// index for query-frequency computation (`|q(D)|`, paper Fig. 3(a)).
+/// The index is either RAM-resident (the default) or the paged on-disk
+/// backend of `smartcrawl-store`, selected per run via
+/// [`IndexBackendConfig`]; both produce identical match sets, so every
+/// caller is backend-oblivious.
 #[derive(Debug)]
 pub struct LocalDb {
     records: Vec<Record>,
     docs: Vec<Document>,
-    index: InvertedIndex,
+    index: AnyPostings,
+    /// Owns the on-disk files and cache budget when the disk backend is
+    /// active; `None` on the RAM path.
+    store: Option<Arc<StoreRuntime>>,
 }
 
 impl LocalDb {
-    /// Tokenizes and indexes `records` into `ctx`'s shared vocabulary.
+    /// Tokenizes and indexes `records` into `ctx`'s shared vocabulary
+    /// (RAM backend).
     pub fn build(records: Vec<Record>, ctx: &mut TextContext) -> Self {
-        let docs: Vec<Document> =
-            records.iter().map(|r| ctx.doc_of_fields(r.fields())).collect();
-        let index = InvertedIndex::build(&docs, ctx.vocab.len());
-        Self { records, docs, index }
+        match Self::build_with(records, ctx, &IndexBackendConfig::Ram) {
+            Ok(db) => db,
+            // The RAM path cannot fail (no I/O); keep the historical
+            // infallible signature for the dozens of existing call sites.
+            // lint:allow(panic-freedom) unreachable: the Ram arm performs no I/O
+            Err(e) => panic!("RAM index build failed: {e}"),
+        }
+    }
+
+    /// Tokenizes and indexes `records` with an explicit index backend.
+    pub fn build_with(
+        records: Vec<Record>,
+        ctx: &mut TextContext,
+        backend: &IndexBackendConfig,
+    ) -> Result<Self, smartcrawl_store::StoreError> {
+        let docs: Vec<Document> = records
+            .iter()
+            .map(|r| ctx.doc_of_fields(r.fields()))
+            .collect();
+        let store = match backend {
+            IndexBackendConfig::Ram => None,
+            IndexBackendConfig::Disk(config) => Some(StoreRuntime::create(config.clone())?),
+        };
+        let index = AnyPostings::build(&docs, ctx.vocab.len(), store.as_deref())?;
+        Ok(Self {
+            records,
+            docs,
+            index,
+            store,
+        })
     }
 
     /// Number of local records `|D|`.
@@ -50,9 +85,24 @@ impl LocalDb {
         &self.docs
     }
 
-    /// The inverted index over `D`.
-    pub fn index(&self) -> &InvertedIndex {
+    /// The inverted index over `D` (RAM or disk).
+    pub fn index(&self) -> &AnyPostings {
         &self.index
+    }
+
+    /// Builds the forward index (record → queries) on the same backend as
+    /// the inverted index, so a disk-backed run keeps `Σ|F(d)|` on disk
+    /// too.
+    pub fn build_forward(
+        &self,
+        query_matches: &[Vec<RecordId>],
+    ) -> Result<AnyForward, smartcrawl_store::StoreError> {
+        AnyForward::build(self.len(), query_matches, self.store.as_deref())
+    }
+
+    /// Page-cache activity of the disk backend (`None` on the RAM path).
+    pub fn store_report(&self) -> Option<StoreReport> {
+        self.store.as_ref().map(|rt| rt.report())
     }
 }
 
@@ -108,21 +158,18 @@ impl<'a> LocalMatchIndex<'a> {
                     return Vec::new();
                 }
                 // Prefix filter: probe the rarest (1-τ)|h|+1 tokens.
-                let prefix_len =
-                    ((1.0 - threshold) * h.len() as f64).floor() as usize + 1;
+                let prefix_len = ((1.0 - threshold) * h.len() as f64).floor() as usize + 1;
                 let mut by_rarity: Vec<TokenId> = h.iter().collect();
                 by_rarity.sort_unstable_by_key(|&t| (self.db.index.doc_frequency(t), t));
-                let mut candidates: Vec<u32> = Vec::new();
+                let mut candidates: Vec<RecordId> = Vec::new();
                 for &t in by_rarity.iter().take(prefix_len.min(by_rarity.len())) {
-                    candidates.extend(
-                        self.db.index.postings(t).iter().map(|&RecordId(i)| i),
-                    );
+                    self.db.index.postings_into(t, &mut candidates);
                 }
                 candidates.sort_unstable();
                 candidates.dedup();
                 candidates
                     .into_iter()
-                    .map(|i| i as usize)
+                    .map(|RecordId(i)| i as usize)
                     .filter(|&i| live.is_none_or(|l| l[i]))
                     .filter(|&i| jaccard(&self.db.docs[i], h) >= threshold)
                     .collect()
@@ -163,7 +210,10 @@ mod tests {
         let m = LocalMatchIndex::build(&db);
         let h = ctx.doc("thai noodle house");
         assert_eq!(m.find_matches(&h, Matcher::Exact, None), vec![0]);
-        assert_eq!(m.find_matches(&h, Matcher::Exact, Some(&[true; 4])), vec![0]);
+        assert_eq!(
+            m.find_matches(&h, Matcher::Exact, Some(&[true; 4])),
+            vec![0]
+        );
         assert!(m
             .find_matches(&h, Matcher::Exact, Some(&[false, true, true, true]))
             .is_empty());
@@ -192,8 +242,13 @@ mod tests {
         h_words[9] = "novel".into();
         let h = ctx.doc(&h_words.join(" "));
         // J = 9/11 ≈ 0.82.
-        assert_eq!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.8 }, None), vec![0]);
-        assert!(m.find_matches(&h, Matcher::Jaccard { threshold: 0.9 }, None).is_empty());
+        assert_eq!(
+            m.find_matches(&h, Matcher::Jaccard { threshold: 0.8 }, None),
+            vec![0]
+        );
+        assert!(m
+            .find_matches(&h, Matcher::Jaccard { threshold: 0.9 }, None)
+            .is_empty());
     }
 
     #[test]
@@ -214,8 +269,12 @@ mod tests {
     fn fuzzy_match_agrees_with_brute_force() {
         let (db, mut ctx) = setup();
         let m = LocalMatchIndex::build(&db);
-        let probes =
-            ["thai noodle house", "jade house", "noodle express thai", "steak palace"];
+        let probes = [
+            "thai noodle house",
+            "jade house",
+            "noodle express thai",
+            "steak palace",
+        ];
         for p in probes {
             let h = ctx.doc(p);
             for thr in [0.3, 0.5, 0.8, 1.0] {

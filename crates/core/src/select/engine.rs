@@ -15,9 +15,10 @@ use crate::pool::QueryPool;
 use crate::sample::SampleIndex;
 use crate::select::{DeltaRemoval, Strategy};
 use smartcrawl_hidden::{HiddenDb, Retrieved};
-use smartcrawl_index::{ForwardIndex, LazyQueue, QueryId, RemovalScratch};
+use smartcrawl_index::{LazyQueue, QueryId, RemovalScratch};
 use smartcrawl_match::Matcher;
 use smartcrawl_par::{par_map, par_map_indexed};
+use smartcrawl_store::AnyForward;
 use smartcrawl_text::RecordId;
 use std::sync::Arc;
 use std::time::Instant;
@@ -72,7 +73,7 @@ pub(crate) struct Engine<'a> {
     local: &'a LocalDb,
     match_index: LocalMatchIndex<'a>,
     pool: QueryPool,
-    forward: ForwardIndex,
+    forward: AnyForward,
     queue: LazyQueue,
     /// Records still in `D` (not covered, not ΔD-removed).
     live: Vec<bool>,
@@ -145,13 +146,19 @@ impl<'a> Engine<'a> {
         let freq = pool.frequencies();
         // Per-query sample statistics are independent lookups — the setup
         // hot path on fig5-scale local databases.
-        let freq_hs: Vec<u32> =
-            par_map(pool.queries(), |q| sample.frequency(q.tokens()) as u32);
+        let freq_hs: Vec<u32> = par_map(pool.queries(), |q| sample.frequency(q.tokens()) as u32);
         let sample_match = sample.local_matches(local, matcher);
         let matched_cnt: Vec<u32> = par_map(pool.all_matches(), |m| {
             m.iter().filter(|rid| sample_match[rid.index()]).count() as u32
         });
-        let forward = ForwardIndex::build(local.len(), pool.all_matches());
+        // Same backend as the inverted index: a disk-backed run keeps the
+        // forward rows on disk too. A build failure at this point means
+        // the store directory vanished between index and engine setup.
+        let forward = match local.build_forward(pool.all_matches()) {
+            Ok(f) => f,
+            // lint:allow(panic-freedom) setup-time store failure is fatal by design
+            Err(e) => panic!("forward index build failed: {e}"),
+        };
         let estimator = match strategy {
             Strategy::Est { kind, .. } => Some(
                 Estimator::new(kind, k, sample.theta(), local.len(), sample.len())
@@ -167,9 +174,11 @@ impl<'a> Engine<'a> {
         let initial: Vec<f64> = par_map_indexed(&freq, |i, &f| match strategy {
             Strategy::Ideal => (f as usize).min(k) as f64,
             Strategy::Simple | Strategy::Bound => f as f64,
-            Strategy::Est { .. } => estimator
-                .expect("estimator exists for Est")
-                .benefit(f as usize, freq_hs[i] as usize, matched_cnt[i] as usize),
+            Strategy::Est { .. } => estimator.expect("estimator exists for Est").benefit(
+                f as usize,
+                freq_hs[i] as usize,
+                matched_cnt[i] as usize,
+            ),
         });
         let mut queue = LazyQueue::new(&initial);
         if matches!(strategy, Strategy::Ideal) {
@@ -295,8 +304,7 @@ impl<'a> Engine<'a> {
             // the memoized candidate set is usable as-is; repeat
             // appearances of a record skip matching *and* tokenization.
             let dense = self.ensure_candidates(r);
-            covered
-                .extend_from_slice(self.match_memo[dense as usize].as_deref().expect("ensured"));
+            covered.extend_from_slice(self.match_memo[dense as usize].as_deref().expect("ensured"));
         }
         covered.sort_unstable();
         covered.dedup();
@@ -336,10 +344,7 @@ impl<'a> Engine<'a> {
     /// Returns `(newly_covered, covered_now, page_dense)` where
     /// `page_dense[i]` is the dense arena id of `page[i]`.
     #[allow(clippy::type_complexity)] // the three parallel outputs of one page absorption
-    fn match_page(
-        &mut self,
-        page: &[Retrieved],
-    ) -> (Vec<(usize, usize)>, Vec<usize>, Vec<u32>) {
+    fn match_page(&mut self, page: &[Retrieved]) -> (Vec<(usize, usize)>, Vec<usize>, Vec<u32>) {
         let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let mut newly_covered: Vec<(usize, usize)> = Vec::new();
         let mut covered_now: Vec<usize> = Vec::new();
@@ -347,7 +352,13 @@ impl<'a> Engine<'a> {
         for (pi, r) in page.iter().enumerate() {
             let dense = self.ensure_candidates(r);
             page_dense.push(dense);
-            let Self { match_memo, live, page_seen, covered, .. } = &mut *self;
+            let Self {
+                match_memo,
+                live,
+                page_seen,
+                covered,
+                ..
+            } = &mut *self;
             for &d in match_memo[dense as usize].as_deref().expect("ensured") {
                 let d = d as usize;
                 if live[d] && !page_seen[d] {
@@ -426,7 +437,10 @@ impl<'a> Engine<'a> {
             self.queue.push(qid, prio);
         }
 
-        ProcessOutcome { newly_covered, removed }
+        ProcessOutcome {
+            newly_covered,
+            removed,
+        }
     }
 
     /// Replaces the engine's hidden-database sample mid-crawl (runtime
@@ -442,11 +456,18 @@ impl<'a> Engine<'a> {
         self.sample_match = sample.local_matches(self.local, self.matcher);
         let (live, sample_match) = (&self.live, &self.sample_match);
         self.matched_cnt = par_map(self.pool.all_matches(), |m| {
-            m.iter().filter(|rid| live[rid.index()] && sample_match[rid.index()]).count() as u32
+            m.iter()
+                .filter(|rid| live[rid.index()] && sample_match[rid.index()])
+                .count() as u32
         });
-        let estimator =
-            Estimator::new(old.kind(), self.k, sample.theta(), self.local.len(), sample.len())
-                .with_omega(old.omega());
+        let estimator = Estimator::new(
+            old.kind(),
+            self.k,
+            sample.theta(),
+            self.local.len(),
+            sample.len(),
+        )
+        .with_omega(old.omega());
         self.estimator = Some(estimator);
         let (freq, freq_hs, matched) = (&self.freq, &self.freq_hs, &self.matched_cnt);
         self.queue.reprioritize(|q| {
@@ -466,7 +487,10 @@ impl<'a> Engine<'a> {
         let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
         let removed = self.remove_records(&covered_now);
         self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
-        ProcessOutcome { newly_covered, removed }
+        ProcessOutcome {
+            newly_covered,
+            removed,
+        }
     }
 
     /// Removes records from `D`, updating frequencies, matched counts, and
@@ -508,7 +532,8 @@ impl<'a> Engine<'a> {
                 stats.incremental_updates += 1;
             }
         }
-        stats.forward_touches += forward.remove_records(
+        stats.forward_touches += smartcrawl_index::remove_records_batch(
+            forward,
             &rids,
             |rid| sample_match[rid.index()],
             removal_scratch,
@@ -552,7 +577,9 @@ impl<'a> Engine<'a> {
             DeltaRemoval::Observed => {
                 page_len < self.k || {
                     let qtokens = self.pool.query(qid).tokens();
-                    page_dense.iter().any(|&d| !self.ctx.dense_doc(d).contains_all(qtokens))
+                    page_dense
+                        .iter()
+                        .any(|&d| !self.ctx.dense_doc(d).contains_all(qtokens))
                 }
             }
             DeltaRemoval::Predicted => {
@@ -638,7 +665,11 @@ pub fn probe_engine_setup(
     for &b in &e.sample_match {
         fold(u64::from(b));
     }
-    SetupProbe { pool_len: e.pool.len(), pool_stats, digest }
+    SetupProbe {
+        pool_len: e.pool.len(),
+        pool_stats,
+        digest,
+    }
 }
 
 #[cfg(test)]
@@ -678,8 +709,14 @@ mod tests {
         strategy: Strategy,
         ctx: TextContext,
     ) -> Engine<'a> {
-        let pool =
-            QueryPool::generate(local, &PoolConfig { min_support: 2, max_len: 2, seed: 7 });
+        let pool = QueryPool::generate(
+            local,
+            &PoolConfig {
+                min_support: 2,
+                max_len: 2,
+                seed: 7,
+            },
+        );
         Engine::new(
             local,
             &SampleIndex::empty(),
@@ -837,7 +874,11 @@ mod tests {
                 let (ctx, local, _) = fixture();
                 let pool = QueryPool::generate(
                     &local,
-                    &PoolConfig { min_support: 2, max_len: 2, seed: 7 },
+                    &PoolConfig {
+                        min_support: 2,
+                        max_len: 2,
+                        seed: 7,
+                    },
                 );
                 probe_engine_setup(
                     &local,

@@ -63,7 +63,11 @@ impl ForwardIndex {
                 cursor[rid.index()] = slot + 1;
             }
         }
-        Self { offsets, postings, num_queries: query_matches.len() }
+        Self {
+            offsets,
+            postings,
+            num_queries: query_matches.len(),
+        }
     }
 
     /// `F(d)`: the queries satisfied by record `rid`.
@@ -78,6 +82,11 @@ impl ForwardIndex {
     /// Number of records covered by the index.
     pub fn num_records(&self) -> usize {
         self.offsets.len().saturating_sub(1)
+    }
+
+    /// Pool size the index was built against.
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
     }
 
     /// Total number of (record, query) incidences — `Σ_d |F(d)|`.
@@ -97,44 +106,18 @@ impl ForwardIndex {
     /// deterministic input order. Returns `Σ |F(d)|` over the batch (the
     /// incidence count the removal walked, coalesced or not), so existing
     /// forward-touch accounting is preserved.
+    /// Delegates to [`crate::backend::remove_records_batch`] — the one
+    /// coalescing implementation shared by every
+    /// [`ForwardBackend`](crate::backend::ForwardBackend), so the RAM and
+    /// disk removal orders cannot diverge.
     pub fn remove_records(
         &self,
         records: &[RecordId],
-        mut weighted: impl FnMut(RecordId) -> bool,
+        weighted: impl FnMut(RecordId) -> bool,
         scratch: &mut RemovalScratch,
-        mut apply: impl FnMut(QueryId, u32, u32),
+        apply: impl FnMut(QueryId, u32, u32),
     ) -> usize {
-        scratch.resize(self.num_queries);
-        let mut incidences = 0usize;
-        for &rid in records {
-            let qs = self.queries_of(rid);
-            incidences += qs.len();
-            if qs.is_empty() {
-                continue;
-            }
-            let w = weighted(rid);
-            for &q in qs {
-                let i = q.index();
-                if scratch.count[i] == 0 {
-                    scratch.touched.push(q.0);
-                }
-                scratch.count[i] += 1;
-                if w {
-                    scratch.weighted[i] += 1;
-                }
-            }
-        }
-        // Indexed loop: `apply` may re-borrow the caller's world, and we
-        // must reset the scratch counters as we drain.
-        for t in 0..scratch.touched.len() {
-            let q = QueryId(scratch.touched[t]);
-            let i = q.index();
-            apply(q, scratch.count[i], scratch.weighted[i]);
-            scratch.count[i] = 0;
-            scratch.weighted[i] = 0;
-        }
-        scratch.touched.clear();
-        incidences
+        crate::backend::remove_records_batch(self, records, weighted, scratch, apply)
     }
 }
 
@@ -145,14 +128,16 @@ impl ForwardIndex {
 /// by clearing the dense arrays).
 #[derive(Debug, Clone, Default)]
 pub struct RemovalScratch {
-    count: Vec<u32>,
-    weighted: Vec<u32>,
-    touched: Vec<u32>,
+    pub(crate) count: Vec<u32>,
+    pub(crate) weighted: Vec<u32>,
+    pub(crate) touched: Vec<u32>,
+    /// Row buffer for backends that must copy `F(d)` out (disk reads).
+    pub(crate) row: Vec<QueryId>,
 }
 
 impl RemovalScratch {
     /// Ensures the dense counters cover query ids `0..num_queries`.
-    fn resize(&mut self, num_queries: usize) {
+    pub(crate) fn resize(&mut self, num_queries: usize) {
         if self.count.len() < num_queries {
             self.count.resize(num_queries, 0);
             self.weighted.resize(num_queries, 0);
@@ -220,12 +205,22 @@ mod tests {
         let f = ForwardIndex::build(2, &[vec![RecordId(0), RecordId(1)]]);
         let mut scratch = RemovalScratch::default();
         let mut seen = Vec::new();
-        f.remove_records(&[RecordId(0)], |_| true, &mut scratch, |q, c, w| {
-            seen.push((q.0, c, w));
-        });
-        f.remove_records(&[RecordId(1)], |_| false, &mut scratch, |q, c, w| {
-            seen.push((q.0, c, w));
-        });
+        f.remove_records(
+            &[RecordId(0)],
+            |_| true,
+            &mut scratch,
+            |q, c, w| {
+                seen.push((q.0, c, w));
+            },
+        );
+        f.remove_records(
+            &[RecordId(1)],
+            |_| false,
+            &mut scratch,
+            |q, c, w| {
+                seen.push((q.0, c, w));
+            },
+        );
         // The second batch must not inherit the first batch's counters.
         assert_eq!(seen, vec![(0, 1, 1), (0, 1, 0)]);
     }
@@ -235,10 +230,14 @@ mod tests {
         let f = ForwardIndex::build(2, &[vec![RecordId(0)]]);
         let mut scratch = RemovalScratch::default();
         let mut calls = 0;
-        let walked =
-            f.remove_records(&[RecordId(1), RecordId(7)], |_| true, &mut scratch, |_, _, _| {
+        let walked = f.remove_records(
+            &[RecordId(1), RecordId(7)],
+            |_| true,
+            &mut scratch,
+            |_, _, _| {
                 calls += 1;
-            });
+            },
+        );
         assert_eq!(walked, 0);
         assert_eq!(calls, 0);
     }

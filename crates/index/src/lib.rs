@@ -12,10 +12,18 @@
 //!   that defers priority recomputation until a query actually reaches the
 //!   top (Fig. 3(c), Algorithm 4 lines 16–27).
 
+//!
+//! The [`backend`] module abstracts the first two behind storage-agnostic
+//! traits ([`PostingsBackend`], [`ForwardBackend`]) so the same selection
+//! call sites can run against these in-RAM structures or the paged
+//! on-disk substrate in `smartcrawl-store`.
+
+pub mod backend;
 pub mod forward;
 pub mod inverted;
 pub mod lazy_queue;
 
+pub use backend::{remove_records_batch, ForwardBackend, PostingsBackend};
 pub use forward::{ForwardIndex, RemovalScratch};
 pub use inverted::InvertedIndex;
 pub use lazy_queue::LazyQueue;

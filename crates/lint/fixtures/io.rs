@@ -1,0 +1,40 @@
+// io-hygiene fixture: deliberate violations of the store's I/O
+// discipline, plus decoys that must stay silent.
+
+use std::fs::File;
+use std::time::Instant;
+
+pub fn raw_create(path: &std::path::Path) -> std::io::Result<()> {
+    let _f = File::create(path)?; // VIOLATION: write outside the paged writer
+    std::fs::write(path, b"payload")?; // VIOLATION: fs::write
+    let _o = std::fs::OpenOptions::new(); // VIOLATION: OpenOptions
+    Ok(())
+}
+
+pub fn wall_clock_eviction(last_used: &mut u128) {
+    *last_used = Instant::now().elapsed().as_nanos(); // VIOLATION: wall clock
+}
+
+pub fn swallowed_io(path: &std::path::Path) -> Vec<u8> {
+    std::fs::read(path).unwrap() // VIOLATION: unwrap on I/O
+}
+
+// Decoys: reads and directory management are not writes, strings and
+// comments are not code, unwrap_or never panics.
+pub fn decoys(path: &std::path::Path) -> std::io::Result<usize> {
+    let _ = File::open(path)?;
+    std::fs::create_dir_all(path)?;
+    let doc = "call File::create(path) and fs::write, then .unwrap() it";
+    // File::create in prose, Instant::now() in prose.
+    Ok(std::fs::read(path).unwrap_or_default().len() + doc.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_raw_io() {
+        let p = std::env::temp_dir().join("fixture");
+        std::fs::write(&p, b"x").unwrap();
+        std::fs::remove_file(&p).unwrap();
+    }
+}

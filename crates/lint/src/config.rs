@@ -24,6 +24,13 @@ pub struct Config {
     /// interned dense ids, and a keyed probe re-entering it is a silent
     /// perf regression.
     pub dense_hot_paths: Vec<String>,
+    /// Path prefixes under the `io-hygiene` contract (the out-of-core
+    /// store): no unwrap/expect, no wall-clock reads, file writes only
+    /// through the versioned-header writer.
+    pub io_hygiene_paths: Vec<String>,
+    /// Files within `io_hygiene_paths` allowed to open files for writing —
+    /// the paged writer that mints the versioned, checksummed header.
+    pub io_writer_paths: Vec<String>,
     /// Run only these rules (`None` = all).
     pub only_rules: Option<Vec<String>>,
 }
@@ -51,6 +58,8 @@ impl Default for Config {
             ],
             thread_runtime_paths: vec!["crates/par/".into()],
             dense_hot_paths: vec!["crates/core/src/select/".into()],
+            io_hygiene_paths: vec!["crates/store/".into()],
+            io_writer_paths: vec!["crates/store/src/file.rs".into()],
             only_rules: None,
         }
     }

@@ -11,15 +11,21 @@ mod budget;
 mod dense;
 mod determinism;
 mod floats;
+mod io;
 mod panic_free;
 
 /// The checkable rule ids, in reporting order.
-pub const RULES: [&str; 5] =
-    ["budget-safety", "determinism", "panic-freedom", "float-hygiene", "dense-hot-path"];
+pub const RULES: [&str; 6] = [
+    "budget-safety",
+    "determinism",
+    "panic-freedom",
+    "float-hygiene",
+    "dense-hot-path",
+    "io-hygiene",
+];
 
 /// Meta rules emitted by the suppression/allowlist machinery itself.
-pub const META_RULES: [&str; 3] =
-    ["bad-suppression", "unused-suppression", "stale-allowlist"];
+pub const META_RULES: [&str; 3] = ["bad-suppression", "unused-suppression", "stale-allowlist"];
 
 /// Whether `id` names a rule a `lint:allow` may reference.
 pub fn known_rule(id: &str) -> bool {
@@ -45,6 +51,9 @@ pub fn run_all(file: &SourceFile<'_>, cfg: &Config) -> Vec<Diagnostic> {
     }
     if cfg.rule_enabled("dense-hot-path") {
         dense::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("io-hygiene") {
+        io::check(file, cfg, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);

@@ -29,7 +29,11 @@ fn lint_fixture(name: &str, as_path: &str) -> (Vec<Diagnostic>, usize) {
 }
 
 fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<u32> {
-    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
 }
 
 #[test]
@@ -52,7 +56,10 @@ fn budget_fixture_flags_probes_and_ignores_decoys() {
 
 #[test]
 fn budget_fixture_is_silent_inside_the_interface_layer() {
-    for path in ["crates/hidden/src/interface.rs", "crates/cache/src/cached.rs"] {
+    for path in [
+        "crates/hidden/src/interface.rs",
+        "crates/cache/src/cached.rs",
+    ] {
         let (diags, _) = lint_fixture("budget.rs", path);
         assert!(
             lines_of(&diags, "budget-safety").is_empty(),
@@ -82,7 +89,10 @@ fn determinism_fixture_flags_rng_clock_and_hash_iteration() {
             .position(|l| l.contains(needle))
             .map(|i| i as u32 + 1)
             .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
-        assert!(lines.contains(&line), "{what} at line {line} not flagged: {diags:?}");
+        assert!(
+            lines.contains(&line),
+            "{what} at line {line} not flagged: {diags:?}"
+        );
     }
 }
 
@@ -109,13 +119,22 @@ fn panic_fixture_flags_each_panicking_construct_once() {
     // unwrap, expect, v[0], panic!, unreachable! — one line each.
     assert_eq!(lines.len(), 5, "{diags:?}");
     let text = fixture("panic.rs");
-    for needle in ["o.unwrap();", "o.expect(", "v[0]", "panic!(", "unreachable!()"] {
+    for needle in [
+        "o.unwrap();",
+        "o.expect(",
+        "v[0]",
+        "panic!(",
+        "unreachable!()",
+    ] {
         let line = text
             .lines()
             .position(|l| l.contains(needle))
             .map(|i| i as u32 + 1)
             .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
-        assert!(lines.contains(&line), "`{needle}` at line {line} not flagged: {diags:?}");
+        assert!(
+            lines.contains(&line),
+            "`{needle}` at line {line} not flagged: {diags:?}"
+        );
     }
 }
 
@@ -129,12 +148,56 @@ fn panic_fixture_is_silent_in_test_files() {
 fn float_fixture_flags_division_and_casts_in_float_paths_only() {
     let (diags, _) = lint_fixture("floats.rs", "crates/core/src/estimate.rs");
     let lines = lines_of(&diags, "float-hygiene");
-    assert_eq!(lines.len(), 2, "division by `den` and `count as f64`: {diags:?}");
+    assert_eq!(
+        lines.len(),
+        2,
+        "division by `den` and `count as f64`: {diags:?}"
+    );
     let (elsewhere, _) = lint_fixture("floats.rs", "crates/core/src/pool.rs");
     assert!(
         lines_of(&elsewhere, "float-hygiene").is_empty(),
         "float-hygiene is scoped to the estimator kernels: {elsewhere:?}"
     );
+}
+
+#[test]
+fn io_fixture_flags_raw_writes_clock_and_unwrap_in_the_store_only() {
+    let (diags, _) = lint_fixture("io.rs", "crates/store/src/cache.rs");
+    let lines = lines_of(&diags, "io-hygiene");
+    // File::create + fs::write + OpenOptions + Instant::now + unwrap.
+    assert_eq!(lines.len(), 5, "{diags:?}");
+    let text = fixture("io.rs");
+    for needle in [
+        "File::create(path)?",
+        "std::fs::write(path",
+        "OpenOptions::new()",
+        "Instant::now()",
+        ".unwrap() // VIOLATION",
+    ] {
+        let line = text
+            .lines()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+            .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
+        assert!(
+            lines.contains(&line),
+            "`{needle}` at line {line} not flagged: {diags:?}"
+        );
+    }
+    // Outside the store the same code answers to other rules, not this one.
+    let (elsewhere, _) = lint_fixture("io.rs", "crates/cache/src/persist.rs");
+    assert!(
+        lines_of(&elsewhere, "io-hygiene").is_empty(),
+        "io-hygiene is scoped to crates/store: {elsewhere:?}"
+    );
+}
+
+#[test]
+fn io_fixture_writer_module_may_open_files() {
+    let (diags, _) = lint_fixture("io.rs", "crates/store/src/file.rs");
+    let lines = lines_of(&diags, "io-hygiene");
+    // The raw-write findings disappear; clock and unwrap remain banned.
+    assert_eq!(lines.len(), 2, "{diags:?}");
 }
 
 #[test]
@@ -164,13 +227,23 @@ fn emitted_allowlist_round_trips_over_fixture_findings() {
     assert!(!diags.is_empty());
     let text = allowlist::emit(&diags);
     let list = allowlist::parse(&text);
-    assert!(list.errors.is_empty(), "emit must produce parseable entries: {:?}", list.errors);
+    assert!(
+        list.errors.is_empty(),
+        "emit must produce parseable entries: {:?}",
+        list.errors
+    );
     assert_eq!(list.entries.len(), diags.len());
     let mut meta = Vec::new();
     let (kept, absorbed) = allowlist::apply(&list, "lint-allow.txt", diags, &mut meta);
-    assert!(kept.is_empty(), "every emitted entry absorbs its finding: {kept:?}");
+    assert!(
+        kept.is_empty(),
+        "every emitted entry absorbs its finding: {kept:?}"
+    );
     assert_eq!(absorbed, list.entries.len());
-    assert!(meta.is_empty(), "round-trip leaves no stale entries: {meta:?}");
+    assert!(
+        meta.is_empty(),
+        "round-trip leaves no stale entries: {meta:?}"
+    );
 }
 
 /// The real workspace, checked with the real checked-in allowlist, is
@@ -191,13 +264,9 @@ fn workspace_is_clean() {
         Ok(text) => allowlist::parse(&text),
         Err(_) => allowlist::Allowlist::default(),
     };
-    let report = smartcrawl_lint::lint_workspace(
-        &root,
-        &Config::default(),
-        &allow,
-        "lint-allow.txt",
-    )
-    .expect("workspace walk failed");
+    let report =
+        smartcrawl_lint::lint_workspace(&root, &Config::default(), &allow, "lint-allow.txt")
+            .expect("workspace walk failed");
     assert!(
         report.is_clean(),
         "workspace has unjustified findings:\n{}",
@@ -208,5 +277,9 @@ fn workspace_is_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    assert!(report.files_checked > 100, "walk looks truncated: {}", report.files_checked);
+    assert!(
+        report.files_checked > 100,
+        "walk looks truncated: {}",
+        report.files_checked
+    );
 }

@@ -9,47 +9,14 @@
 
 use crate::HiddenSample;
 use smartcrawl_hidden::{ExternalId, Retrieved};
+// Shared escape grammar and rejection shape — see
+// `smartcrawl_store::format` for the one format module every text store
+// in the workspace builds on.
+use smartcrawl_store::format::{escape, invalid_data as bad, unescape};
 use std::io::{BufRead, Write};
 use std::path::Path;
 
 const MAGIC: &str = "#smartcrawl-sample v1";
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next()? {
-                '\\' => out.push('\\'),
-                't' => out.push('\t'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                _ => return None,
-            }
-        } else {
-            out.push(c);
-        }
-    }
-    Some(out)
-}
-
-fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
-}
 
 /// Writes a sample to `path`.
 pub fn save_sample(path: impl AsRef<Path>, sample: &HiddenSample) -> std::io::Result<()> {
@@ -57,7 +24,13 @@ pub fn save_sample(path: impl AsRef<Path>, sample: &HiddenSample) -> std::io::Re
     writeln!(f, "{MAGIC}")?;
     writeln!(f, "theta\t{}", sample.theta)?;
     for r in &sample.records {
-        write!(f, "{}\t{}\t{}", r.external_id.0, r.fields.len(), r.payload.len())?;
+        write!(
+            f,
+            "{}\t{}\t{}",
+            r.external_id.0,
+            r.fields.len(),
+            r.payload.len()
+        )?;
         for field in r.fields.iter().chain(r.payload.iter()) {
             write!(f, "\t{}", escape(field))?;
         }
@@ -73,7 +46,10 @@ pub fn load_sample(path: impl AsRef<Path>) -> std::io::Result<HiddenSample> {
     if lines.next().transpose()?.as_deref() != Some(MAGIC) {
         return Err(bad("not a smartcrawl sample file"));
     }
-    let theta_line = lines.next().transpose()?.ok_or_else(|| bad("missing theta"))?;
+    let theta_line = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| bad("missing theta"))?;
     let theta: f64 = theta_line
         .strip_prefix("theta\t")
         .and_then(|v| v.parse().ok())
@@ -155,7 +131,11 @@ mod tests {
     #[test]
     fn rejects_corrupt_records() {
         let path = tmp("corrupt");
-        std::fs::write(&path, format!("{MAGIC}\ntheta\t0.5\n1\t2\t0\tonly-one-field\n")).unwrap();
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\ntheta\t0.5\n1\t2\t0\tonly-one-field\n"),
+        )
+        .unwrap();
         assert!(load_sample(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
@@ -171,7 +151,10 @@ mod tests {
     #[test]
     fn empty_sample_round_trips() {
         let path = tmp("empty");
-        let s = HiddenSample { records: vec![], theta: 0.0 };
+        let s = HiddenSample {
+            records: vec![],
+            theta: 0.0,
+        };
         save_sample(&path, &s).unwrap();
         let loaded = load_sample(&path).unwrap();
         assert!(loaded.records.is_empty());

@@ -1,0 +1,336 @@
+//! Fixed-budget page cache with pinned/LRU eviction.
+//!
+//! Each [`PageCache`] fronts one [`PagedReader`] and keeps at most
+//! `budget` decoded page payloads resident. Frames are recycled in
+//! least-recently-used order, where "time" is a logical access tick —
+//! never the wall clock — so which page gets evicted is a pure function
+//! of the access sequence and replays identically across runs.
+//!
+//! Pinning is load-bearing for correctness, not just performance:
+//! [`read_span`](PageCache::read_span) pins *every* page a span touches
+//! before copying, so a span that covers more pages than the budget
+//! cannot evict its own tail mid-copy (the cache grows past budget
+//! rather than deadlock, and shrinks back through normal eviction).
+
+use crate::file::PagedReader;
+use crate::{Result, StoreError, StoreStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache counters shared (lock-free) by every cache a runtime owns.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl SharedStats {
+    /// Snapshot the counters. Counts are schedule-dependent under
+    /// concurrent query evaluation — report them, never digest them.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_pages: self.resident.load(Ordering::Relaxed),
+            peak_resident_pages: self.peak.load(Ordering::Relaxed),
+        }
+    }
+
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn evicted(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn resident_up(&self) {
+        let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Page held by this frame; `u64::MAX` marks a vacated frame.
+    page: u64,
+    payload: Vec<u8>,
+    /// Logical tick of the last access (LRU key — no wall clock).
+    last_used: u64,
+    /// Pin count; pinned frames are never evicted.
+    pinned: u32,
+}
+
+impl Frame {
+    fn vacant() -> Self {
+        Frame {
+            page: u64::MAX,
+            payload: Vec::new(),
+            last_used: 0,
+            pinned: 0,
+        }
+    }
+}
+
+/// A bounded set of resident page payloads over one paged file.
+#[derive(Debug)]
+pub struct PageCache {
+    reader: PagedReader,
+    frames: Vec<Frame>,
+    slot_of: HashMap<u64, usize>,
+    budget: usize,
+    tick: u64,
+    stats: Arc<SharedStats>,
+}
+
+impl PageCache {
+    /// Wraps `reader` with a cache of at most `budget` resident pages
+    /// (clamped to at least one).
+    pub fn new(reader: PagedReader, budget: usize, stats: Arc<SharedStats>) -> Self {
+        let budget = budget.max(1);
+        Self {
+            reader,
+            frames: Vec::with_capacity(budget.min(1024)),
+            slot_of: HashMap::new(),
+            budget,
+            tick: 0,
+            stats,
+        }
+    }
+
+    /// Payload bytes one page of the underlying file holds.
+    pub fn payload_capacity(&self) -> usize {
+        self.reader.payload_capacity()
+    }
+
+    fn frame_gone(&self) -> StoreError {
+        StoreError::corrupt(self.reader.path(), "cache frame vanished")
+    }
+
+    /// Makes `page` resident and pins it; returns its frame slot. The
+    /// caller must [`unpin`](Self::unpin) the slot when done with the
+    /// payload.
+    pub fn pin(&mut self, page: u64) -> Result<usize> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(&slot) = self.slot_of.get(&page) {
+            if let Some(frame) = self.frames.get_mut(slot) {
+                frame.last_used = tick;
+                frame.pinned += 1;
+                self.stats.hit();
+                return Ok(slot);
+            }
+        }
+        self.stats.miss();
+        let slot = self.claim_slot();
+        // Split borrows: the reader fills the frame's buffer in place.
+        let Self { reader, frames, .. } = self;
+        let Some(frame) = frames.get_mut(slot) else {
+            return Err(self.frame_gone());
+        };
+        reader.read_page(page, &mut frame.payload)?;
+        frame.page = page;
+        frame.last_used = tick;
+        frame.pinned = 1;
+        self.slot_of.insert(page, slot);
+        Ok(slot)
+    }
+
+    /// Releases one pin on `slot`.
+    pub fn unpin(&mut self, slot: usize) {
+        if let Some(frame) = self.frames.get_mut(slot) {
+            frame.pinned = frame.pinned.saturating_sub(1);
+        }
+    }
+
+    /// Finds a frame to load into: a fresh one while under budget, else
+    /// the least-recently-used unpinned frame, else (everything pinned)
+    /// a temporary over-budget frame.
+    fn claim_slot(&mut self) -> usize {
+        if self.frames.len() < self.budget {
+            self.frames.push(Frame::vacant());
+            self.stats.resident_up();
+            return self.frames.len() - 1;
+        }
+        let victim = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pinned == 0)
+            .min_by_key(|&(i, f)| (f.last_used, i))
+            .map(|(i, _)| i);
+        match victim {
+            Some(slot) => {
+                if let Some(frame) = self.frames.get_mut(slot) {
+                    self.slot_of.remove(&frame.page);
+                    frame.page = u64::MAX;
+                    self.stats.evicted();
+                }
+                slot
+            }
+            None => {
+                self.frames.push(Frame::vacant());
+                self.stats.resident_up();
+                self.frames.len() - 1
+            }
+        }
+    }
+
+    fn copy_from(&self, slot: usize, start: usize, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        let frame = self.frames.get(slot).ok_or_else(|| self.frame_gone())?;
+        let bytes = frame.payload.get(start..start + len).ok_or_else(|| {
+            StoreError::corrupt(self.reader.path(), "byte span runs past its page payload")
+        })?;
+        out.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` logical payload bytes starting at logical offset `off`
+    /// into `out` (replacing its contents). Logical offsets treat the
+    /// file as the concatenation of page payloads, each of
+    /// [`payload_capacity`](Self::payload_capacity) bytes; every page the
+    /// span touches is pinned before the first copy.
+    pub fn read_span(&mut self, off: u64, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        out.clear();
+        if len == 0 {
+            return Ok(());
+        }
+        out.reserve(len);
+        let cap = self.payload_capacity() as u64;
+        let first = off / cap;
+        let last = (off + len as u64 - 1) / cap;
+        if first == last {
+            let slot = self.pin(first)?;
+            let res = self.copy_from(slot, (off % cap) as usize, len, out);
+            self.unpin(slot);
+            return res;
+        }
+        let mut slots = Vec::with_capacity((last - first + 1) as usize);
+        let mut res = Ok(());
+        for page in first..=last {
+            match self.pin(page) {
+                Ok(slot) => slots.push(slot),
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
+        }
+        if res.is_ok() {
+            let mut cursor = off;
+            let mut remaining = len;
+            for &slot in &slots {
+                let start = (cursor % cap) as usize;
+                let take = remaining.min(cap as usize - start);
+                if let Err(e) = self.copy_from(slot, start, take, out) {
+                    res = Err(e);
+                    break;
+                }
+                cursor += take as u64;
+                remaining -= take;
+            }
+        }
+        for &slot in &slots {
+            self.unpin(slot);
+        }
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::PagedWriter;
+    use std::path::{Path, PathBuf};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "smartcrawl_store_cache_{}_{name}",
+            std::process::id()
+        ))
+    }
+
+    /// Writes `pages` full pages where page i is filled with byte i.
+    fn build(path: &Path, pages: u8) -> PageCache {
+        let mut w = PagedWriter::create(path, 64).unwrap();
+        let cap = w.payload_capacity();
+        for i in 0..pages {
+            w.append_page(&vec![i; cap]).unwrap();
+        }
+        w.finish().unwrap();
+        PageCache::new(
+            PagedReader::open(path).unwrap(),
+            2,
+            Arc::new(SharedStats::default()),
+        )
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_unpinned_frame() {
+        let path = tmp("lru");
+        let mut cache = build(&path, 3);
+        let s0 = cache.pin(0).unwrap();
+        cache.unpin(s0);
+        let s1 = cache.pin(1).unwrap();
+        cache.unpin(s1);
+        // Budget 2: loading page 2 must evict page 0 (the colder one).
+        let s2 = cache.pin(2).unwrap();
+        cache.unpin(s2);
+        assert!(cache.slot_of.contains_key(&1));
+        assert!(cache.slot_of.contains_key(&2));
+        assert!(!cache.slot_of.contains_key(&0));
+        let stats = cache.stats.snapshot();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident_pages, 2);
+        assert_eq!(stats.peak_resident_pages, 2);
+        // Re-pinning page 1 is a hit.
+        let s1 = cache.pin(1).unwrap();
+        cache.unpin(s1);
+        assert_eq!(cache.stats.snapshot().hits, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pinned_frames_survive_pressure() {
+        let path = tmp("pinned");
+        let mut cache = build(&path, 4);
+        let hold = cache.pin(0).unwrap();
+        for page in 1..4 {
+            let s = cache.pin(page).unwrap();
+            cache.unpin(s);
+        }
+        // Page 0 was pinned throughout: still resident.
+        assert!(cache.slot_of.contains_key(&0));
+        cache.unpin(hold);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn span_wider_than_budget_reads_whole() {
+        let path = tmp("span");
+        let mut cache = build(&path, 4);
+        let cap = cache.payload_capacity();
+        let mut out = Vec::new();
+        // A span over 4 pages with budget 2: pins force over-budget growth.
+        cache.read_span(0, cap * 4, &mut out).unwrap();
+        assert_eq!(out.len(), cap * 4);
+        for (i, chunk) in out.chunks(cap).enumerate() {
+            assert!(chunk.iter().all(|&b| b == i as u8));
+        }
+        assert!(cache.stats.snapshot().peak_resident_pages >= 4);
+        // Mid-file, page-straddling span.
+        cache.read_span(cap as u64 - 3, 6, &mut out).unwrap();
+        assert_eq!(out, [0, 0, 0, 1, 1, 1]);
+        std::fs::remove_file(&path).ok();
+    }
+}

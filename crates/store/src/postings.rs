@@ -1,0 +1,327 @@
+//! Delta- plus varint-encoded posting lists with skip entries.
+//!
+//! Layout of one encoded list (all integers LEB128 varints):
+//!
+//! ```text
+//! n                       element count
+//! first_id                absolute first element        (absent if n = 0)
+//! s                       number of skip entries        (absent if n = 0)
+//! s × (Δid, Δoff)         skip entries, delta-coded against the previous
+//!                         entry (the first against first_id and offset 0)
+//! (n−1) × Δid             body: gaps between consecutive elements
+//! ```
+//!
+//! A skip entry exists for every element whose index is a positive
+//! multiple of [`SKIP_INTERVAL`]; it records that element's absolute id
+//! and the body offset of the varint encoding its gap. A
+//! [`PostingCursor`] streams the skip entries with non-decreasing
+//! targets, jumping whole blocks during intersection instead of
+//! decoding every gap — the encoded-domain analogue of the RAM index's
+//! cursor galloping.
+
+use crate::format::{read_varint, write_varint};
+
+/// One skip entry per this many elements.
+pub const SKIP_INTERVAL: usize = 128;
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Encodes a strictly ascending id list, appending to `out`.
+pub fn encode_postings(ids: &[u32], out: &mut Vec<u8>) {
+    write_varint(out, ids.len() as u64);
+    let Some((&first, rest)) = ids.split_first() else {
+        return;
+    };
+    write_varint(out, u64::from(first));
+    // Pass 1: locate the skip targets without materialising the body.
+    let mut skips: Vec<(u32, u64)> = Vec::new();
+    let mut prev = first;
+    let mut off = 0u64;
+    for (k, &id) in rest.iter().enumerate() {
+        if (k + 1) % SKIP_INTERVAL == 0 {
+            skips.push((id, off));
+        }
+        off += varint_len(u64::from(id - prev)) as u64;
+        prev = id;
+    }
+    write_varint(out, skips.len() as u64);
+    let mut prev_id = first;
+    let mut prev_off = 0u64;
+    for &(id, off) in &skips {
+        write_varint(out, u64::from(id - prev_id));
+        write_varint(out, off - prev_off);
+        prev_id = id;
+        prev_off = off;
+    }
+    // Pass 2: the gap body.
+    let mut prev = first;
+    for &id in rest {
+        write_varint(out, u64::from(id - prev));
+        prev = id;
+    }
+}
+
+/// Fully decodes an encoded list into `out` (replacing its contents).
+/// Returns the element count, or `None` if `buf` is not exactly one
+/// well-formed list.
+pub fn decode_postings_into(buf: &[u8], out: &mut Vec<u32>) -> Option<usize> {
+    out.clear();
+    let mut pos = 0;
+    let n = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+    if n == 0 {
+        return (pos == buf.len()).then_some(0);
+    }
+    // Each element costs at least one byte, so a count beyond the buffer
+    // length is corrupt — reject before reserving.
+    if n > buf.len() {
+        return None;
+    }
+    out.reserve(n);
+    let first = u32::try_from(read_varint(buf, &mut pos)?).ok()?;
+    out.push(first);
+    let s = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+    if s > buf.len() {
+        return None;
+    }
+    for _ in 0..s {
+        read_varint(buf, &mut pos)?;
+        read_varint(buf, &mut pos)?;
+    }
+    let mut prev = first;
+    for _ in 1..n {
+        let gap = read_varint(buf, &mut pos)?;
+        let id = u64::from(prev) + gap;
+        prev = u32::try_from(id).ok()?;
+        out.push(prev);
+    }
+    (pos == buf.len()).then_some(n)
+}
+
+/// Streaming reader over one encoded list supporting `advance_to` with
+/// non-decreasing targets. Malformed bytes surface as exhaustion (the
+/// paged layer's checksums reject real corruption before a cursor ever
+/// sees it).
+#[derive(Debug)]
+pub struct PostingCursor<'a> {
+    buf: &'a [u8],
+    /// Byte offset of the gap body within `buf`.
+    body_start: usize,
+    /// Read position (absolute in `buf`).
+    pos: usize,
+    cur: u32,
+    exhausted: bool,
+    /// Read position within the skip-entry section.
+    skip_pos: usize,
+    skips_left: usize,
+    /// Absolute id of the last consumed skip entry (starts at `first_id`).
+    skip_id: u32,
+    /// Absolute body offset of the last consumed skip entry.
+    skip_off: u64,
+}
+
+impl<'a> PostingCursor<'a> {
+    /// Parses the header of an encoded list. `None` means the header is
+    /// malformed; an empty list yields an exhausted cursor.
+    pub fn new(buf: &'a [u8]) -> Option<Self> {
+        let mut pos = 0;
+        let n = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+        if n == 0 {
+            return Some(Self {
+                buf,
+                body_start: pos,
+                pos,
+                cur: 0,
+                exhausted: true,
+                skip_pos: pos,
+                skips_left: 0,
+                skip_id: 0,
+                skip_off: 0,
+            });
+        }
+        let first = u32::try_from(read_varint(buf, &mut pos)?).ok()?;
+        let s = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+        if s > buf.len() {
+            return None;
+        }
+        let skip_pos = pos;
+        for _ in 0..s {
+            read_varint(buf, &mut pos)?;
+            read_varint(buf, &mut pos)?;
+        }
+        Some(Self {
+            buf,
+            body_start: pos,
+            pos,
+            cur: first,
+            exhausted: false,
+            skip_pos,
+            skips_left: s,
+            skip_id: first,
+            skip_off: 0,
+        })
+    }
+
+    /// The element the cursor currently rests on, if any.
+    pub fn current(&self) -> Option<u32> {
+        if self.exhausted {
+            None
+        } else {
+            Some(self.cur)
+        }
+    }
+
+    fn die(&mut self) -> Option<u32> {
+        self.exhausted = true;
+        None
+    }
+
+    /// Advances to the first element `>= target` and returns it, or
+    /// `None` once the list is exhausted. Targets must be non-decreasing
+    /// across calls on one cursor.
+    pub fn advance_to(&mut self, target: u32) -> Option<u32> {
+        if self.exhausted {
+            return None;
+        }
+        if self.cur >= target {
+            return Some(self.cur);
+        }
+        // Stream skip entries with id <= target, remembering the last.
+        let mut landed = None;
+        while self.skips_left > 0 {
+            let mut probe = self.skip_pos;
+            let Some(d_id) = read_varint(self.buf, &mut probe) else {
+                return self.die();
+            };
+            let Some(d_off) = read_varint(self.buf, &mut probe) else {
+                return self.die();
+            };
+            let next_id = u64::from(self.skip_id) + d_id;
+            let Ok(next_id) = u32::try_from(next_id) else {
+                return self.die();
+            };
+            if next_id > target {
+                break;
+            }
+            self.skip_id = next_id;
+            self.skip_off += d_off;
+            self.skip_pos = probe;
+            self.skips_left -= 1;
+            landed = Some((self.skip_id, self.skip_off));
+        }
+        if let Some((id, off)) = landed {
+            let abs = self.body_start + off as usize;
+            // Only jump forward; a prior linear walk may already be past
+            // this block boundary.
+            if abs > self.pos {
+                self.pos = abs;
+                // Consume the gap varint of the skip target itself — its
+                // absolute id is already known from the entry.
+                if read_varint(self.buf, &mut self.pos).is_none() {
+                    return self.die();
+                }
+                self.cur = id;
+                if self.cur >= target {
+                    return Some(self.cur);
+                }
+            }
+        }
+        while self.cur < target {
+            let Some(gap) = read_varint(self.buf, &mut self.pos) else {
+                return self.die();
+            };
+            let next = u64::from(self.cur) + gap;
+            let Ok(next) = u32::try_from(next) else {
+                return self.die();
+            };
+            self.cur = next;
+        }
+        Some(self.cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ids: &[u32]) {
+        let mut buf = Vec::new();
+        encode_postings(ids, &mut buf);
+        let mut out = Vec::new();
+        assert_eq!(decode_postings_into(&buf, &mut out), Some(ids.len()));
+        assert_eq!(out, ids);
+    }
+
+    #[test]
+    fn lists_round_trip() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[7, 8, 9, 1000, u32::MAX]);
+        let long: Vec<u32> = (0..1000).map(|i| i * 5 + (i % 5)).collect();
+        round_trip(&long);
+    }
+
+    #[test]
+    fn long_lists_carry_skip_entries() {
+        let ids: Vec<u32> = (0..400).map(|i| i * 2).collect();
+        let mut with = Vec::new();
+        encode_postings(&ids, &mut with);
+        let mut pos = 0;
+        let n = read_varint(&with, &mut pos).unwrap();
+        assert_eq!(n, 400);
+        let _first = read_varint(&with, &mut pos).unwrap();
+        let s = read_varint(&with, &mut pos).unwrap();
+        assert_eq!(s as usize, (ids.len() - 1) / SKIP_INTERVAL);
+    }
+
+    #[test]
+    fn cursor_matches_linear_scan() {
+        let ids: Vec<u32> = (0..2000).map(|i| i * 7 + (i % 3)).collect();
+        let mut buf = Vec::new();
+        encode_postings(&ids, &mut buf);
+        // Ascending targets, mixing hits, gaps, and long jumps.
+        let targets: Vec<u32> = (0..600).map(|i| i * 23 + (i % 11)).collect();
+        let mut cursor = PostingCursor::new(&buf).unwrap();
+        for &t in &targets {
+            let expect = ids.iter().copied().find(|&id| id >= t);
+            assert_eq!(cursor.advance_to(t), expect, "target {t}");
+        }
+    }
+
+    #[test]
+    fn cursor_exhausts_cleanly() {
+        let mut buf = Vec::new();
+        encode_postings(&[5, 10], &mut buf);
+        let mut cursor = PostingCursor::new(&buf).unwrap();
+        assert_eq!(cursor.current(), Some(5));
+        assert_eq!(cursor.advance_to(6), Some(10));
+        assert_eq!(cursor.advance_to(11), None);
+        assert_eq!(cursor.advance_to(12), None);
+
+        let mut empty = Vec::new();
+        encode_postings(&[], &mut empty);
+        let cursor = PostingCursor::new(&empty).unwrap();
+        assert_eq!(cursor.current(), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_buffers() {
+        let mut out = Vec::new();
+        // Truncated mid-body.
+        let mut buf = Vec::new();
+        encode_postings(&(0..300).collect::<Vec<u32>>(), &mut buf);
+        assert_eq!(decode_postings_into(&buf[..buf.len() - 1], &mut out), None);
+        // Trailing garbage.
+        buf.push(0);
+        assert_eq!(decode_postings_into(&buf, &mut out), None);
+        // Absurd count.
+        let huge = [0xff, 0xff, 0xff, 0x7f];
+        assert_eq!(decode_postings_into(&huge, &mut out), None);
+    }
+}
