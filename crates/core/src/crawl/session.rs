@@ -186,7 +186,7 @@ impl CrawlSession {
         let cache_at_start = iface.cache_stats();
 
         'session: while report.steps.len() + failed_attempts < self.budget {
-            let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+            let t = Instant::now();
             let next = source.next_query(report.steps.len());
             timing.selection_ns += t.elapsed().as_nanos() as u64;
             let Some(keywords) = next else {
@@ -198,7 +198,7 @@ impl CrawlSession {
             let page = loop {
                 let hits_before =
                     cache_at_start.and_then(|_| iface.cache_stats()).map(|s| s.hits);
-                let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+                let t = Instant::now();
                 let result = iface.search(&keywords);
                 timing.search_ns += t.elapsed().as_nanos() as u64;
                 match result {
@@ -238,7 +238,7 @@ impl CrawlSession {
                 len: page.records.len(),
                 full: page.is_full(k),
             });
-            let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+            let t = Instant::now();
             let observation = source.observe(&keywords, &page, k);
             timing.matching_ns += t.elapsed().as_nanos() as u64;
 
@@ -309,7 +309,7 @@ impl<'a> PageMatcher<'a> {
         page: &[Retrieved],
         ctx: &mut crate::context::TextContext,
     ) -> Vec<EnrichedPair> {
-        let t = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+        let t = Instant::now();
         let mut pairs = Vec::new();
         for r in page {
             let rdoc = ctx.doc_of_retrieved(r);

@@ -345,7 +345,7 @@ impl<'a> Engine<'a> {
     /// `page_dense[i]` is the dense arena id of `page[i]`.
     #[allow(clippy::type_complexity)] // the three parallel outputs of one page absorption
     fn match_page(&mut self, page: &[Retrieved]) -> (Vec<(usize, usize)>, Vec<usize>, Vec<u32>) {
-        let t_match = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+        let t_match = Instant::now();
         let mut newly_covered: Vec<(usize, usize)> = Vec::new();
         let mut covered_now: Vec<usize> = Vec::new();
         let mut page_dense: Vec<u32> = Vec::with_capacity(page.len());
@@ -428,7 +428,7 @@ impl<'a> Engine<'a> {
         }
 
         // 3. Apply removals through the forward index (Fig. 3(b)/(c)).
-        let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+        let t_remove = Instant::now();
         let removed = self.remove_records(&to_remove);
         self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
 
@@ -484,7 +484,7 @@ impl<'a> Engine<'a> {
         for &d in &covered_now {
             self.page_seen[d] = false;
         }
-        let t_remove = Instant::now(); // lint:allow(determinism) phase timing only, never selection
+        let t_remove = Instant::now();
         let removed = self.remove_records(&covered_now);
         self.stats.removal_ns += t_remove.elapsed().as_nanos() as u64;
         ProcessOutcome {

@@ -1,0 +1,80 @@
+//! hot-path-alloc fixture: per-iteration allocations in loop bodies.
+//! Never compiled — linted as `crates/store/src/scan.rs` (inside the
+//! configured hot paths).
+
+fn allocates_every_iteration(rows: &[Row]) -> Vec<Vec<u8>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut buf = Vec::new(); // VIOLATION: Vec::new in a loop body
+        buf.extend_from_slice(row.bytes());
+        out.push(buf);
+    }
+    out
+}
+
+fn clones_and_copies_per_row(rows: &[Row]) -> usize {
+    let mut total = 0;
+    for row in rows {
+        let copy = row.clone(); // VIOLATION: .clone() in a loop body
+        let bytes = row.bytes().to_vec(); // VIOLATION: .to_vec() in a loop body
+        total += copy.len() + bytes.len();
+    }
+    total
+}
+
+fn formats_inside_while(mut n: usize) -> usize {
+    let mut hits = 0;
+    while n > 0 {
+        let key = format!("row{n}"); // VIOLATION: format! in a loop body
+        let tag = String::from("shard"); // VIOLATION: String::from in a loop body
+        hits += key.len() + tag.len();
+        n -= 1;
+    }
+    hits
+}
+
+// ---- decoys: none of these may fire --------------------------------------
+
+fn hoisted_buffer_reused(rows: &[Row]) -> usize {
+    // The fix the rule asks for: allocate once, clear per iteration.
+    let mut buf = Vec::new();
+    let mut total = 0;
+    for row in rows {
+        buf.clear();
+        buf.extend_from_slice(row.bytes());
+        total += buf.len();
+    }
+    total
+}
+
+fn presized_allocation_in_loop(rows: &[Row]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for row in rows {
+        // with_capacity is a deliberate, sized allocation — not flagged.
+        let mut buf = Vec::with_capacity(row.len());
+        buf.extend_from_slice(row.bytes());
+        out.push(buf);
+    }
+    out
+}
+
+fn allocation_outside_any_loop(row: &Row) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(row.bytes());
+    buf
+}
+
+fn string_decoy() -> &'static str {
+    "for _ in 0..n { Vec::new(); format!(\"x\"); }"
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(n: usize) {
+        for i in 0..n {
+            let v = Vec::new();
+            let s = format!("{i}");
+            drop((v, s));
+        }
+    }
+}

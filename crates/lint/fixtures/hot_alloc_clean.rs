@@ -1,0 +1,25 @@
+//! hot-path-alloc clean fixture: hot loops that reuse hoisted buffers.
+//! Linted as `crates/store/src/scan.rs`; must produce zero
+//! hot-path-alloc findings.
+
+fn scan_with_reused_buffers(rows: &[Row]) -> usize {
+    let mut buf = Vec::new();
+    let mut decoded = Vec::with_capacity(64);
+    let mut total = 0;
+    for row in rows {
+        buf.clear();
+        decoded.clear();
+        buf.extend_from_slice(row.bytes());
+        decode_into(&buf, &mut decoded);
+        total += decoded.len();
+    }
+    total
+}
+
+fn arithmetic_only_loop(values: &[u64]) -> u64 {
+    let mut acc = 0;
+    for &v in values {
+        acc = acc.wrapping_add(v.rotate_left(7));
+    }
+    acc
+}

@@ -1,0 +1,22 @@
+//! crate-layering fixture: the acceptance-criteria synthetic back-edge.
+//! Never compiled — linted as `crates/index/src/lib.rs`, so importing
+//! from `core` (two layers up) must be rejected.
+
+use smartcrawl_core::pool::QueryPool; // VIOLATION: index (layer 2) -> core (layer 4)
+use smartcrawl_store::inverted::DiskInvertedIndex; // VIOLATION: index (layer 2) -> store (layer 3)
+
+// ---- decoys: none of these may fire --------------------------------------
+
+use smartcrawl_text::tokenize; // downward edge: layer 2 -> layer 1
+use smartcrawl_index::TokenId; // self-edge via the crate's own name
+use std::collections::BTreeMap; // not a workspace crate
+
+fn string_decoy() -> &'static str {
+    "use smartcrawl_core::pool::QueryPool;"
+}
+
+#[cfg(test)]
+mod tests {
+    // Dev-dependency-style import: test code may reach upward.
+    use smartcrawl_core::pool::QueryPool;
+}

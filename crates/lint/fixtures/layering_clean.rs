@@ -1,0 +1,14 @@
+//! crate-layering clean fixture: every edge points down (or sideways in)
+//! the DAG. Linted as `crates/core/src/select/engine.rs` — `core` sits
+//! above everything it imports here.
+
+use smartcrawl_fpm::FpGrowth;
+use smartcrawl_hidden::HiddenDb;
+use smartcrawl_index::InvertedIndex;
+use smartcrawl_match::Matcher;
+use smartcrawl_par::par_map;
+use smartcrawl_store::DiskInvertedIndex;
+use smartcrawl_text::tokenize;
+use std::collections::BTreeMap;
+
+fn uses_the_imports() {}

@@ -1,0 +1,60 @@
+//! send-sync-boundary fixture: functions that fan out through the
+//! parallel runtime while thread-hostile capture types are in scope.
+//! Never compiled — linted as `crates/core/src/crawl/driver.rs`.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+fn rc_crosses_par_map(v: &[u32]) -> Vec<u32> {
+    let shared = Rc::new(41u32); // VIOLATION: Rc in a fanning-out fn
+    par_map(v, |x| x + *shared)
+}
+
+fn refcell_crosses_par_chunks(v: &[u32]) -> usize {
+    let acc = RefCell::new(0usize); // VIOLATION: RefCell
+    par_chunks(v, 8, |c| *acc.borrow_mut() += c.len());
+    acc.into_inner()
+}
+
+fn cell_crosses_par_map_indexed(v: &[u32]) -> Vec<u32> {
+    let flag = Cell::new(0u32); // VIOLATION: Cell
+    par_map_indexed(v, |i, x| x + flag.get() + i as u32)
+}
+
+fn raw_pointer_near_fanout(v: &[u32], p: *mut u32) -> Vec<u32> {
+    // VIOLATION above: `*mut` parameter in a fn that calls par_map.
+    par_map(v, |x| x + 1)
+}
+
+fn static_mut_near_fanout(v: &[u32]) -> Vec<u32> {
+    static mut COUNTER: u32 = 0; // VIOLATION: static mut
+    par_map(v, |x| x + 1)
+}
+
+// ---- decoys: none of these may fire --------------------------------------
+
+fn rc_without_fanout() -> u32 {
+    // Same Rc, but no parallel entry point in this fn.
+    let lone = Rc::new(7u32);
+    *lone
+}
+
+fn fanout_with_clean_captures(v: &[u32], shared: &[u32]) -> Vec<u32> {
+    // Captures are & only: exactly what the rule demands.
+    par_map(v, |x| x + shared.first().copied().unwrap_or(0))
+}
+
+fn string_decoy() -> &'static str {
+    // Type names inside strings are invisible to the lexer's code stream.
+    "Rc<RefCell<Cell>> par_map(*mut static mut)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_is_exempt(v: &[u32]) {
+        let rc = Rc::new(1u32);
+        par_map(v, |x| x + *rc);
+    }
+}

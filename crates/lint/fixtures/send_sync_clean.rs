@@ -1,0 +1,28 @@
+//! send-sync-boundary clean fixture: the same fan-out shapes with
+//! Send+Sync captures only. Must produce zero send-sync-boundary
+//! findings wherever it is linted.
+
+use std::sync::Arc;
+
+fn arc_crosses_par_map(v: &[u32]) -> Vec<u32> {
+    let shared = Arc::new(41u32);
+    par_map(v, |x| x + *shared)
+}
+
+fn refs_cross_par_map_indexed(v: &[u32], weights: &[u32]) -> Vec<u32> {
+    par_map_indexed(v, |i, x| x * weights.get(i).copied().unwrap_or(1))
+}
+
+fn owned_copies_cross_par_chunks(v: &[u32], scale: u32) -> Vec<u32> {
+    par_chunks(v, 16, move |c| c.iter().map(|x| x * scale).sum())
+}
+
+fn arc_mutex_is_fine(v: &[u32], acc: &Arc<std::sync::Mutex<Vec<u32>>>) {
+    let acc = Arc::clone(acc);
+    par_map(v, move |x| {
+        if let Ok(mut guard) = acc.lock() {
+            guard.push(x);
+        }
+        x
+    });
+}

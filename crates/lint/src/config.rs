@@ -31,6 +31,13 @@ pub struct Config {
     /// Files within `io_hygiene_paths` allowed to open files for writing —
     /// the paged writer that mints the versioned, checksummed header.
     pub io_writer_paths: Vec<String>,
+    /// Path prefixes where loop bodies must not allocate (`hot-path-alloc`):
+    /// the selection hot path and the out-of-core store.
+    pub hot_alloc_paths: Vec<String>,
+    /// Function names whose call sites hand a closure to the deterministic
+    /// parallel runtime — the `send-sync-boundary` rule scans the calling
+    /// function for non-`Send`/`Sync` capture types.
+    pub par_entry_points: Vec<String>,
     /// Run only these rules (`None` = all).
     pub only_rules: Option<Vec<String>>,
 }
@@ -60,6 +67,8 @@ impl Default for Config {
             dense_hot_paths: vec!["crates/core/src/select/".into()],
             io_hygiene_paths: vec!["crates/store/".into()],
             io_writer_paths: vec!["crates/store/src/file.rs".into()],
+            hot_alloc_paths: vec!["crates/core/src/select/".into(), "crates/store/src/".into()],
+            par_entry_points: vec!["par_map".into(), "par_map_indexed".into(), "par_chunks".into()],
             only_rules: None,
         }
     }

@@ -27,6 +27,42 @@ impl Diagnostic {
             self.path, self.line, self.col, self.rule, self.message, self.snippet
         )
     }
+
+    /// Renders the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(self.rule),
+            json_str(&self.path),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.snippet)
+        )
+    }
+}
+
+/// JSON string literal with the escapes the grammar requires. Hand-rolled
+/// because the workspace vendors no serializer — the output is consumed by
+/// CI tooling, so correctness of escaping is load-bearing.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Result of a workspace pass.
@@ -47,5 +83,66 @@ impl Report {
     /// Whether the pass is clean (CI gate).
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Renders the whole report as one JSON document (the `--format json`
+    /// output, uploaded as a CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str(&format!(
+            "],\"files_checked\":{},\"suppressed\":{},\"allowlisted\":{},\"clean\":{}}}",
+            self.files_checked,
+            self.suppressed,
+            self.allowlisted,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_backslashes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+        assert_eq!(json_str("\u{01}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "hot-path-alloc",
+                path: "crates/store/src/x.rs".into(),
+                line: 7,
+                col: 3,
+                message: "msg with \"quotes\"".into(),
+                snippet: "let v = Vec::new();".into(),
+            }],
+            files_checked: 2,
+            suppressed: 1,
+            allowlisted: 3,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\"findings\":[{\"rule\":\"hot-path-alloc\""));
+        assert!(json.contains("\"line\":7,\"col\":3"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json
+            .ends_with("\"files_checked\":2,\"suppressed\":1,\"allowlisted\":3,\"clean\":false}"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let json = Report::default().to_json();
+        assert!(json.contains("\"findings\":[]"));
+        assert!(json.contains("\"clean\":true"));
     }
 }

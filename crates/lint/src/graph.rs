@@ -1,0 +1,294 @@
+//! The crate layering graph: the workspace's sanctioned dependency DAG
+//! and the machinery that checks real edges — Cargo manifest dependencies
+//! and per-file `use` imports — against it.
+//!
+//! The DAG, bottom to top:
+//!
+//! ```text
+//! par → data/text → index/match/fpm → hidden/sampler/store/cache → core → bench
+//! ```
+//!
+//! (`par` sits below everything as the dependency-free runtime; the root
+//! facade crate `deeper` sits above `bench`; `lint` is the tool itself
+//! and stands outside the data plane.) An edge is legal iff it points at
+//! the same or a lower layer — refactors that would silently invert a
+//! layer show up as `crate-layering` findings on both the `use` site and
+//! the `Cargo.toml` line that introduced the dependency.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+
+/// Layer of each workspace crate in the sanctioned DAG. Lower layers
+/// must not depend on higher ones; same-layer edges are allowed (cargo
+/// itself rejects cycles).
+const LAYERS: [(&str, u8); 13] = [
+    ("par", 0),
+    ("text", 1),
+    ("data", 1),
+    ("index", 2),
+    ("match", 2),
+    ("fpm", 2),
+    ("hidden", 3),
+    ("sampler", 3),
+    ("store", 3),
+    ("cache", 3),
+    ("core", 4),
+    ("bench", 5),
+    // The root facade package (`deeper`, src/ at the workspace root) may
+    // re-export everything.
+    ("deeper", 6),
+];
+
+/// The DAG rendered for diagnostics.
+pub const DAG: &str = "data/text → index/match/fpm → hidden/sampler/store/cache → core → bench";
+
+/// Layer of a crate key (`"hidden"`, `"core"`, …). `None` for crates
+/// outside the layered data plane (`lint`) and for unknown names.
+pub fn layer_of(krate: &str) -> Option<u8> {
+    LAYERS.iter().find(|&&(k, _)| k == krate).map(|&(_, l)| l)
+}
+
+/// Maps a workspace-relative source path to its crate key:
+/// `crates/<x>/…` → `x`, the root `src/…` tree → the facade (`deeper`).
+pub fn crate_of_path(path: &str) -> Option<&str> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if path.starts_with("src/") {
+        return Some("deeper");
+    }
+    None
+}
+
+/// Maps a dependency name (`smartcrawl-hidden` / `smartcrawl_hidden`) to
+/// its crate key. Non-workspace deps (e.g. `rand`) return `None`.
+pub fn crate_of_dep(name: &str) -> Option<&str> {
+    name.strip_prefix("smartcrawl-").or_else(|| name.strip_prefix("smartcrawl_"))
+}
+
+/// One dependency edge read from a manifest's `[dependencies]` table.
+#[derive(Debug, Clone)]
+pub struct ManifestDep {
+    /// Dependency name as written (`smartcrawl-hidden`).
+    pub name: String,
+    /// 1-based line in the manifest.
+    pub line: u32,
+    /// The trimmed manifest line (diagnostic snippet / allowlist anchor).
+    pub text: String,
+}
+
+/// Extracts `[dependencies]` entries from manifest text. Dev-dependencies
+/// are deliberately ignored: test-only edges (e.g. `core` dev-depending
+/// on `data` for scenario fixtures) do not ship in the dependency graph
+/// of the product and routinely point upward.
+pub fn manifest_deps(text: &str) -> Vec<ManifestDep> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // `[dependencies]` only — not `[dev-dependencies]`, not
+            // `[workspace.dependencies]` (declarations, not edges), not
+            // `[target.….dependencies]` (unused in this workspace).
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name.workspace = true` / `name = { … }` / `name = "1.0"`.
+        let name: String = line
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            .collect();
+        if !name.is_empty() {
+            out.push(ManifestDep { name, line: (i + 1) as u32, text: line.to_string() });
+        }
+    }
+    out
+}
+
+/// A crate-level module graph: nodes are workspace crates, edges come
+/// from manifests (and, via [`add_edge`](CrateGraph::add_edge), from
+/// per-file imports). Kept for reporting; the layering *check* is
+/// pairwise and does not need the assembled graph.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    /// `(from, to)` edges, crate keys, deduplicated, sorted.
+    pub edges: Vec<(String, String)>,
+}
+
+impl CrateGraph {
+    /// Records an edge (idempotent).
+    pub fn add_edge(&mut self, from: &str, to: &str) {
+        let e = (from.to_string(), to.to_string());
+        if let Err(pos) = self.edges.binary_search(&e) {
+            self.edges.insert(pos, e);
+        }
+    }
+
+    /// Crates `from` reaches directly.
+    pub fn deps_of<'a>(&'a self, from: &'a str) -> impl Iterator<Item = &'a str> {
+        self.edges.iter().filter(move |(f, _)| f == from).map(|(_, t)| t.as_str())
+    }
+
+    /// Edges that point upward in the layer order — the violations.
+    pub fn back_edges(&self) -> impl Iterator<Item = &(String, String)> {
+        self.edges
+            .iter()
+            .filter(|(f, t)| matches!((layer_of(f), layer_of(t)), (Some(lf), Some(lt)) if lt > lf))
+    }
+}
+
+/// Checks one manifest's dependency edges against the layer order,
+/// emitting `crate-layering` diagnostics anchored at the offending
+/// manifest lines, and records its edges into `graph`.
+pub fn check_manifest(
+    rel_path: &str,
+    krate: &str,
+    text: &str,
+    graph: &mut CrateGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(my_layer) = layer_of(krate) else {
+        return;
+    };
+    for dep in manifest_deps(text) {
+        let Some(dep_key) = crate_of_dep(&dep.name) else {
+            continue;
+        };
+        let Some(dep_layer) = layer_of(dep_key) else {
+            continue;
+        };
+        graph.add_edge(krate, dep_key);
+        if dep_layer > my_layer {
+            out.push(Diagnostic {
+                rule: "crate-layering",
+                path: rel_path.to_string(),
+                line: dep.line,
+                col: 1,
+                message: format!(
+                    "`{krate}` (layer {my_layer}) declares a Cargo dependency on \
+                     `{dep_key}` (layer {dep_layer}) — edges must point down the \
+                     DAG {DAG}"
+                ),
+                snippet: dep.text,
+            });
+        }
+    }
+}
+
+/// Scans every workspace manifest (root + `crates/*/Cargo.toml`) for
+/// layering violations. Returns the assembled crate graph.
+pub fn check_workspace_manifests(root: &Path, out: &mut Vec<Diagnostic>) -> io::Result<CrateGraph> {
+    let mut graph = CrateGraph::default();
+    let mut manifests: Vec<(String, String)> = Vec::new(); // (rel_path, crate)
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.exists() {
+        manifests.push(("Cargo.toml".to_string(), "deeper".to_string()));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let manifest = entry.path().join("Cargo.toml");
+            if manifest.exists() {
+                manifests.push((format!("crates/{name}/Cargo.toml"), name));
+            }
+        }
+    }
+    manifests.sort();
+    for (rel, krate) in &manifests {
+        let Ok(text) = fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        check_manifest(rel, krate, &text, &mut graph, out);
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_table_matches_the_dag() {
+        assert!(layer_of("par") < layer_of("text"));
+        assert!(layer_of("text") < layer_of("index"));
+        assert!(layer_of("index") < layer_of("hidden"));
+        assert!(layer_of("hidden") < layer_of("core"));
+        assert!(layer_of("core") < layer_of("bench"));
+        assert_eq!(layer_of("lint"), None);
+        assert_eq!(layer_of("no-such-crate"), None);
+    }
+
+    #[test]
+    fn paths_resolve_to_crates() {
+        assert_eq!(crate_of_path("crates/store/src/file.rs"), Some("store"));
+        assert_eq!(crate_of_path("crates/core/src/select/engine.rs"), Some("core"));
+        assert_eq!(crate_of_path("src/main.rs"), Some("deeper"));
+        assert_eq!(crate_of_path("tests/session_properties.rs"), None);
+    }
+
+    #[test]
+    fn dep_names_resolve_with_either_separator() {
+        assert_eq!(crate_of_dep("smartcrawl-hidden"), Some("hidden"));
+        assert_eq!(crate_of_dep("smartcrawl_core"), Some("core"));
+        assert_eq!(crate_of_dep("rand"), None);
+    }
+
+    #[test]
+    fn manifest_deps_reads_only_the_dependencies_table() {
+        let text = "\
+[package]
+name = \"smartcrawl-x\"
+
+[dependencies]
+smartcrawl-text.workspace = true
+rand = { path = \"vendor/rand\" }
+
+[dev-dependencies]
+smartcrawl-core.workspace = true
+";
+        let deps = manifest_deps(text);
+        let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["smartcrawl-text", "rand"]);
+        assert_eq!(deps[0].line, 5);
+    }
+
+    #[test]
+    fn back_edge_in_a_manifest_is_flagged() {
+        let text = "[dependencies]\nsmartcrawl-core.workspace = true\n";
+        let mut graph = CrateGraph::default();
+        let mut out = Vec::new();
+        check_manifest("crates/index/Cargo.toml", "index", text, &mut graph, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "crate-layering");
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("`index`"));
+        assert_eq!(graph.back_edges().count(), 1);
+    }
+
+    #[test]
+    fn forward_and_same_layer_edges_pass() {
+        let text = "[dependencies]\nsmartcrawl-hidden.workspace = true\nsmartcrawl-store.workspace = true\nsmartcrawl-text.workspace = true\n";
+        let mut graph = CrateGraph::default();
+        let mut out = Vec::new();
+        check_manifest("crates/cache/Cargo.toml", "cache", text, &mut graph, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(graph.deps_of("cache").count(), 3);
+    }
+
+    #[test]
+    fn dev_dependencies_may_point_upward() {
+        let text = "[dev-dependencies]\nsmartcrawl-core.workspace = true\n";
+        let mut graph = CrateGraph::default();
+        let mut out = Vec::new();
+        check_manifest("crates/data/Cargo.toml", "data", text, &mut graph, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

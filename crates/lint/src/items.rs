@@ -1,0 +1,351 @@
+//! Item index: the bridge between the token tree and the flow-aware
+//! rules. Walks every group level of a parsed file and records item
+//! boundaries (`fn` / `struct` / `enum` / `impl` / `mod` / `use`) with
+//! byte spans, so a rule can ask "which function contains this call?"
+//! or "what does this file import?" without re-deriving structure.
+//!
+//! Alongside items, this module extracts **loop bodies** (`for` / `while`
+//! / `loop` block spans) — the scope the `hot-path-alloc` rule bans
+//! allocations in.
+
+use crate::lexer::Token;
+use crate::parser::{Node, TokenTree};
+
+/// The item kinds the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Impl,
+    Mod,
+    Use,
+}
+
+/// One indexed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Declared name (`""` for `impl` blocks, the module name for `mod`,
+    /// the first path segment for `use`).
+    pub name: String,
+    /// Byte span `[start, end)`: keyword token through the closing brace
+    /// or terminating semicolon.
+    pub start: usize,
+    pub end: usize,
+    /// Position of the keyword token.
+    pub line: u32,
+    pub col: u32,
+    /// For `use` items: the root path segment (`std`, `crate`,
+    /// `smartcrawl_hidden`, …).
+    pub use_root: Option<String>,
+}
+
+/// All items of one file, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct ItemIndex {
+    pub items: Vec<Item>,
+}
+
+impl ItemIndex {
+    /// The innermost `fn` item whose span contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && it.start <= offset && offset < it.end)
+            .max_by_key(|it| it.start)
+    }
+
+    /// Root path segments of every `use` item (imports of the file).
+    pub fn use_roots(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().filter_map(|it| it.use_root.as_deref())
+    }
+}
+
+const ITEM_KEYWORDS: [(&str, ItemKind); 6] = [
+    ("fn", ItemKind::Fn),
+    ("struct", ItemKind::Struct),
+    ("enum", ItemKind::Enum),
+    ("impl", ItemKind::Impl),
+    ("mod", ItemKind::Mod),
+    ("use", ItemKind::Use),
+];
+
+/// A level's children with comment leaves filtered out: item grammar is
+/// over code, but spans still point at the full token slice.
+fn code_children<'t>(tokens: &[Token<'_>], level: &'t [Node]) -> Vec<&'t Node> {
+    level
+        .iter()
+        .filter(|n| match n {
+            Node::Leaf(i) => tokens.get(*i).is_some_and(|t| !t.is_comment()),
+            Node::Group(_) => true,
+        })
+        .collect()
+}
+
+fn leaf_text<'a>(tokens: &[Token<'a>], node: &Node) -> Option<&'a str> {
+    match node {
+        Node::Leaf(i) => tokens.get(*i).map(|t| t.text),
+        Node::Group(_) => None,
+    }
+}
+
+fn group_text(tokens: &[Token<'_>], node: &Node) -> Option<&'static str> {
+    match node {
+        Node::Group(g) => match tokens.get(g.open).map(|t| t.text) {
+            Some("{") => Some("{"),
+            Some("(") => Some("("),
+            Some("[") => Some("["),
+            _ => None,
+        },
+        Node::Leaf(_) => None,
+    }
+}
+
+/// Byte offset just past a node (closer of a group, or its last child for
+/// unterminated groups; `eof` when the group is empty and unterminated).
+fn node_end(tokens: &[Token<'_>], node: &Node, eof: usize) -> usize {
+    match node {
+        Node::Leaf(i) => tokens.get(*i).map_or(eof, Token::end),
+        Node::Group(g) => match g.close {
+            Some(c) => tokens.get(c).map_or(eof, Token::end),
+            None => g.children.last().map_or_else(
+                || tokens.get(g.open).map_or(eof, Token::end),
+                |ch| node_end(tokens, ch, eof),
+            ),
+        },
+    }
+}
+
+/// Indexes every item in the file, at every nesting level.
+pub fn index(tokens: &[Token<'_>], tree: &TokenTree, eof: usize) -> ItemIndex {
+    let mut items = Vec::new();
+    index_level(tokens, &tree.roots, eof, &mut items);
+    items.sort_by_key(|it| it.start);
+    ItemIndex { items }
+}
+
+fn index_level(tokens: &[Token<'_>], level: &[Node], eof: usize, out: &mut Vec<Item>) {
+    let nodes = code_children(tokens, level);
+    for (pos, node) in nodes.iter().enumerate() {
+        // Recurse into every group: items nest in mod/impl/fn bodies.
+        if let Node::Group(g) = node {
+            index_level(tokens, &g.children, eof, out);
+            continue;
+        }
+        let Some(kw) = leaf_text(tokens, node) else {
+            continue;
+        };
+        let Some(&(_, kind)) = ITEM_KEYWORDS.iter().find(|&&(k, _)| k == kw) else {
+            continue;
+        };
+        let Node::Leaf(kw_idx) = node else { continue };
+        let Some(kw_tok) = tokens.get(*kw_idx) else {
+            continue;
+        };
+        // `fn` must introduce a named item here — `fn(u32) -> u32` is a
+        // function-pointer type (next node is the parameter group, not an
+        // ident). Same guard keeps `impl Fn(...)` bounds out.
+        let name = nodes
+            .get(pos + 1)
+            .and_then(|n| leaf_text(tokens, n))
+            .filter(|t| is_ident_like(t))
+            .unwrap_or("");
+        if kind == ItemKind::Fn && name.is_empty() {
+            continue;
+        }
+        // Extent: scan forward at this level for the item's body (`{…}`
+        // group) or its terminating `;`, whichever comes first. Struct
+        // tuple bodies (`struct S(u32);`) fall out naturally: the `(…)`
+        // group is passed over and the `;` ends the item.
+        let mut end = kw_tok.end();
+        for next in nodes.get(pos + 1..).unwrap_or(&[]) {
+            if leaf_text(tokens, next) == Some(";") {
+                end = node_end(tokens, next, eof);
+                break;
+            }
+            if group_text(tokens, next) == Some("{") {
+                end = node_end(tokens, next, eof);
+                break;
+            }
+            end = node_end(tokens, next, eof);
+        }
+        let use_root = (kind == ItemKind::Use).then(|| {
+            nodes
+                .get(pos + 1..)
+                .unwrap_or(&[])
+                .iter()
+                .find_map(|n| leaf_text(tokens, n).filter(|t| is_ident_like(t)))
+                .unwrap_or("")
+                .to_string()
+        });
+        out.push(Item {
+            kind,
+            name: name.to_string(),
+            start: kw_tok.offset,
+            end,
+            line: kw_tok.line,
+            col: kw_tok.col,
+            use_root,
+        });
+    }
+}
+
+fn is_ident_like(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Byte spans of every loop body (`for … in … { }`, `while … { }`,
+/// `loop { }`) at any nesting depth. The `for` of `impl Trait for Type`
+/// and of `for<'a>` bounds is filtered by requiring an `in` leaf between
+/// the keyword and the body braces.
+pub fn loop_bodies(tokens: &[Token<'_>], tree: &TokenTree, eof: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut work: Vec<&[Node]> = vec![&tree.roots];
+    while let Some(level) = work.pop() {
+        let nodes = code_children(tokens, level);
+        for (pos, node) in nodes.iter().enumerate() {
+            if let Node::Group(g) = node {
+                work.push(&g.children);
+                continue;
+            }
+            let Some(kw) = leaf_text(tokens, node) else {
+                continue;
+            };
+            if !matches!(kw, "for" | "while" | "loop") {
+                continue;
+            }
+            // Find the body: the next `{…}` group at this level. A `;`
+            // first means no body here (e.g. `for` inside a where-clause
+            // that never materializes a block at this level).
+            let mut saw_in = false;
+            for next in nodes.get(pos + 1..).unwrap_or(&[]) {
+                match leaf_text(tokens, next) {
+                    Some("in") => saw_in = true,
+                    Some(";") => break,
+                    _ => {}
+                }
+                if group_text(tokens, next) == Some("{") {
+                    if kw == "for" && !saw_in {
+                        break; // `impl … for T { }` / `for<'a>` bound
+                    }
+                    let Node::Group(g) = next else { break };
+                    let start = tokens.get(g.open).map_or(0, |t| t.offset);
+                    out.push((start, node_end(tokens, next, eof)));
+                    break;
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn build(src: &str) -> (Vec<Token<'_>>, TokenTree) {
+        let toks = lex(src);
+        let tree = parse(&toks);
+        (toks, tree)
+    }
+
+    #[test]
+    fn indexes_top_level_items() {
+        let src = "use std::fmt;\nfn f(x: u32) -> u32 { x }\nstruct S { a: u32 }\nenum E { A, B }\nimpl S { fn m(&self) {} }\nmod inner { fn g() {} }\n";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        let kinds: Vec<ItemKind> = idx.items.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&ItemKind::Use));
+        assert!(kinds.contains(&ItemKind::Struct));
+        assert!(kinds.contains(&ItemKind::Enum));
+        assert!(kinds.contains(&ItemKind::Impl));
+        assert!(kinds.contains(&ItemKind::Mod));
+        // f, m (in impl), g (in mod) — three fns.
+        assert_eq!(idx.items.iter().filter(|i| i.kind == ItemKind::Fn).count(), 3);
+    }
+
+    #[test]
+    fn item_spans_cover_their_bodies() {
+        let src = "fn f() { g(); }\nfn h() {}\n";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        let call = src.find("g()").unwrap();
+        let f = idx.enclosing_fn(call).expect("g() is inside f");
+        assert_eq!(f.name, "f");
+        let h_body = src.rfind("{}").unwrap();
+        assert_eq!(idx.enclosing_fn(h_body + 1).map(|i| i.name.as_str()), Some("h"));
+    }
+
+    #[test]
+    fn innermost_fn_wins_for_nested_items() {
+        let src = "fn outer() { fn inner() { x(); } inner(); }";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        let x = src.find("x()").unwrap();
+        assert_eq!(idx.enclosing_fn(x).map(|i| i.name.as_str()), Some("inner"));
+        let call = src.find("inner();").unwrap();
+        let f = idx.enclosing_fn(src[call..].find("inner").map(|o| call + o).unwrap()).unwrap();
+        assert_eq!(f.name, "outer");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "struct S { cb: fn(u32) -> u32 }";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        assert_eq!(idx.items.iter().filter(|i| i.kind == ItemKind::Fn).count(), 0);
+    }
+
+    #[test]
+    fn use_roots_are_extracted() {
+        let src = "use std::collections::HashMap;\nuse smartcrawl_hidden::{HiddenDb, Metered};\nuse crate::diag::Diagnostic;\n";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        let roots: Vec<&str> = idx.use_roots().collect();
+        assert_eq!(roots, vec!["std", "smartcrawl_hidden", "crate"]);
+    }
+
+    #[test]
+    fn tuple_struct_and_semicolon_items_end_at_semicolon() {
+        let src = "struct Wrap(u32);\nfn after() {}\n";
+        let (toks, tree) = build(src);
+        let idx = index(&toks, &tree, src.len());
+        let wrap = idx.items.iter().find(|i| i.name == "Wrap").unwrap();
+        assert_eq!(&src[wrap.start..wrap.end], "struct Wrap(u32);");
+    }
+
+    #[test]
+    fn loop_bodies_found_at_all_depths() {
+        let src = "fn f(v: &[u32]) { for x in v { g(x); } while h() { loop { break; } } }";
+        let (toks, tree) = build(src);
+        let bodies = loop_bodies(&toks, &tree, src.len());
+        assert_eq!(bodies.len(), 3, "{bodies:?}");
+        let for_body = src.find("{ g(x); }").unwrap();
+        assert!(bodies.iter().any(|&(s, e)| s == for_body && e > s));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Clone for S { fn clone(&self) -> S { S } }";
+        let (toks, tree) = build(src);
+        assert!(loop_bodies(&toks, &tree, src.len()).is_empty());
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let src = "fn f<F: for<'a> Fn(&'a u32)>(cb: F) { cb(&1); }";
+        let (toks, tree) = build(src);
+        assert!(loop_bodies(&toks, &tree, src.len()).is_empty());
+    }
+
+    #[test]
+    fn while_let_has_a_body() {
+        let src = "fn f(mut it: I) { while let Some(x) = it.next() { g(x); } }";
+        let (toks, tree) = build(src);
+        assert_eq!(loop_bodies(&toks, &tree, src.len()).len(), 1);
+    }
+}

@@ -50,6 +50,16 @@ impl Token<'_> {
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
     }
+
+    /// Byte offset just past the token's last byte.
+    pub fn end(&self) -> usize {
+        self.offset + self.text.len()
+    }
+
+    /// The token's byte span `[start, end)` in the file.
+    pub fn span(&self) -> (usize, usize) {
+        (self.offset, self.end())
+    }
 }
 
 /// Lexes `src` into tokens. Whitespace is dropped; everything else —

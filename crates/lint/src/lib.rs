@@ -1,13 +1,19 @@
-//! smartcrawl-lint: a workspace invariant checker for the SmartCrawl
+//! smartcrawl-lint: a workspace-aware static analyzer for the SmartCrawl
 //! crates.
 //!
 //! The rules encode the invariants the paper's evaluation rests on —
 //! every query charged to the budget (`budget-safety`), bit-reproducible
-//! results (`determinism`), no panics mid-crawl (`panic-freedom`), and
-//! guarded float kernels (`float-hygiene`) — as lexical passes over a
-//! comment/string-aware token stream. Surviving violations must carry a
-//! written justification, either inline (`// lint:allow(<rule>) reason`)
-//! or in the checked-in allowlist (`lint-allow.txt`).
+//! results (`determinism`), no panics mid-crawl (`panic-freedom`),
+//! guarded float kernels (`float-hygiene`), flat-array selection
+//! (`dense-hot-path`), disciplined store I/O (`io-hygiene`), `Send+Sync`
+//! state across the parallel runtime (`send-sync-boundary`), the crate
+//! dependency DAG (`crate-layering`), and allocation-free hot loops
+//! (`hot-path-alloc`). The early rules are lexical passes over a
+//! comment/string-aware token stream; the flow-aware ones walk the token
+//! tree, item index, and module graph built per file (see [`parser`],
+//! [`items`], [`graph`]). Surviving violations must carry a written
+//! justification, either inline (`// lint:allow(<rule>) reason`) or in
+//! the checked-in allowlist (`lint-allow.txt`).
 //!
 //! Run it as `cargo run -p smartcrawl-lint --` from the workspace root,
 //! or use [`lint_source`] / [`lint_workspace`] directly.
@@ -19,7 +25,10 @@ use std::path::{Path, PathBuf};
 pub mod allowlist;
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 pub mod suppress;
@@ -82,11 +91,7 @@ pub fn lint_workspace(
     let mut report = Report::default();
     let mut all = Vec::new();
     for path in collect_files(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         let Ok(src) = fs::read_to_string(&path) else {
             // Non-UTF-8 or vanished mid-walk: nothing lexical to check.
             continue;
@@ -95,6 +100,12 @@ pub fn lint_workspace(
         let (diags, suppressed) = lint_source(&rel, &src, cfg);
         report.suppressed += suppressed;
         all.extend(diags);
+    }
+    // The Cargo half of `crate-layering`: manifest dependency edges. These
+    // join the pool before the allowlist applies, so a justified edge can
+    // be absorbed by a `lint-allow.txt` entry like any source finding.
+    if cfg.rule_enabled("crate-layering") {
+        graph::check_workspace_manifests(root, &mut all)?;
     }
     let mut meta = Vec::new();
     let (mut kept, absorbed) = allowlist::apply(allow, allow_path, all, &mut meta);
@@ -134,8 +145,7 @@ mod tests {
         // panic-freedom rule never fires, but its suppression must not be
         // reported unused — it was never tested.
         let src = "fn f(o: Option<u32>) {\n    o.unwrap(); // lint:allow(panic-freedom) checked above\n}\n";
-        let cfg =
-            Config { only_rules: Some(vec!["determinism".into()]), ..Default::default() };
+        let cfg = Config { only_rules: Some(vec!["determinism".into()]), ..Default::default() };
         let (diags, suppressed) = lint_source("crates/x/src/lib.rs", src, &cfg);
         assert!(diags.is_empty(), "{diags:?}");
         assert_eq!(suppressed, 0);

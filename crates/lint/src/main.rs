@@ -3,10 +3,13 @@
 //! ```text
 //! cargo run -p smartcrawl-lint --                 # full pass, CI gate
 //! cargo run -p smartcrawl-lint -- --rule determinism
+//! cargo run -p smartcrawl-lint -- --format json > lint-report.json
 //! cargo run -p smartcrawl-lint -- --emit-allowlist > lint-allow.txt
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! `stale-allowlist` findings count as violations: a dead exemption fails
+//! the run (and CI) like any other finding until it is removed.
 
 use std::fs;
 use std::path::PathBuf;
@@ -24,15 +27,25 @@ OPTIONS:
     --root <DIR>        workspace root to scan (default: current directory)
     --allowlist <FILE>  allowlist file (default: <root>/lint-allow.txt)
     --rule <ID>         run only this rule (repeatable); one of:
-                        budget-safety, determinism, panic-freedom, float-hygiene
+                        budget-safety, determinism, panic-freedom,
+                        float-hygiene, dense-hot-path, io-hygiene,
+                        send-sync-boundary, crate-layering, hot-path-alloc
+    --format <FMT>      output format: text (default) or json
     --emit-allowlist    print surviving findings as allowlist entries and exit 0
     -h, --help          print this help
 ";
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     allowlist: Option<PathBuf>,
     only_rules: Vec<String>,
+    format: Format,
     emit: bool,
 }
 
@@ -41,6 +54,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         root: PathBuf::from("."),
         allowlist: None,
         only_rules: Vec::new(),
+        format: Format::Text,
         emit: false,
     };
     let mut it = std::env::args().skip(1);
@@ -56,13 +70,18 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let v = it.next().ok_or("--allowlist needs a file")?;
                 args.allowlist = Some(PathBuf::from(v));
             }
+            "--format" => {
+                let v = it.next().ok_or("--format needs `text` or `json`")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             "--rule" => {
                 let v = it.next().ok_or("--rule needs a rule id")?;
                 if !rules::RULES.contains(&v.as_str()) {
-                    return Err(format!(
-                        "unknown rule `{v}` (known: {})",
-                        rules::RULES.join(", ")
-                    ));
+                    return Err(format!("unknown rule `{v}` (known: {})", rules::RULES.join(", ")));
                 }
                 args.only_rules.push(v);
             }
@@ -90,10 +109,7 @@ fn main() -> ExitCode {
         cfg.only_rules = Some(args.only_rules.clone());
     }
 
-    let allow_path = args
-        .allowlist
-        .clone()
-        .unwrap_or_else(|| args.root.join("lint-allow.txt"));
+    let allow_path = args.allowlist.clone().unwrap_or_else(|| args.root.join("lint-allow.txt"));
     let mut allow = match fs::read_to_string(&allow_path) {
         Ok(text) => allowlist::parse(&text),
         // A missing allowlist is fine (empty); an unreadable one is not.
@@ -121,6 +137,11 @@ fn main() -> ExitCode {
     if args.emit {
         print!("{}", allowlist::emit(&report.diagnostics));
         return ExitCode::SUCCESS;
+    }
+
+    if args.format == Format::Json {
+        println!("{}", report.to_json());
+        return if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::from(1) };
     }
 
     for d in &report.diagnostics {

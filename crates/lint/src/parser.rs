@@ -1,0 +1,233 @@
+//! Token-tree parser: groups the flat lexer stream into nested delimiter
+//! trees (`()`, `[]`, `{}`), the structural layer the flow-aware rules
+//! stand on.
+//!
+//! The parser never fails: a stray closer becomes a leaf, an unclosed
+//! group runs to end of input. That mirrors the lexer's contract — a lint
+//! pass must survive weird-but-compiling source, and rustc rejects truly
+//! broken files long before the linter matters. The invariant it *does*
+//! guarantee (pinned by the round-trip property test) is losslessness:
+//! flattening the tree in order re-emits exactly the lexed token stream.
+
+use crate::lexer::Token;
+
+/// One node of the token tree. Indices point into the token slice the
+/// tree was parsed from (comments included), so every node carries its
+/// exact source position via the underlying [`Token`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A non-delimiter token (or an unmatched closer), by token index.
+    Leaf(usize),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// A delimiter-bounded subtree: `( … )`, `[ … ]` or `{ … }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter; `None` if input ended first.
+    pub close: Option<usize>,
+    /// Children in source order.
+    pub children: Vec<Node>,
+}
+
+/// A parsed file: the forest of top-level nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenTree {
+    pub roots: Vec<Node>,
+}
+
+/// Which closer matches an opener, if the token text is an opener at all.
+fn closer_of(text: &str) -> Option<&'static str> {
+    match text {
+        "(" => Some(")"),
+        "[" => Some("]"),
+        "{" => Some("}"),
+        _ => None,
+    }
+}
+
+fn is_closer(text: &str) -> bool {
+    matches!(text, ")" | "]" | "}")
+}
+
+/// Parses a lexed token slice into a delimiter tree.
+pub fn parse(tokens: &[Token<'_>]) -> TokenTree {
+    // Explicit stack of open groups (no recursion: pathological nesting
+    // depth must not overflow the linter's stack).
+    struct Open {
+        open: usize,
+        expects: &'static str,
+        children: Vec<Node>,
+    }
+    let mut stack: Vec<Open> = Vec::new();
+    let mut roots: Vec<Node> = Vec::new();
+    let push = |stack: &mut Vec<Open>, roots: &mut Vec<Node>, node: Node| match stack.last_mut() {
+        Some(top) => top.children.push(node),
+        None => roots.push(node),
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        if let Some(expects) = closer_of(tok.text) {
+            stack.push(Open { open: i, expects, children: Vec::new() });
+        } else if is_closer(tok.text) {
+            // Pop if the closer matches the innermost open group; if it
+            // matches an *outer* group, the inner ones were unterminated —
+            // close them at this token too (they end where their container
+            // ends). A closer matching nothing on the stack is a leaf.
+            if stack.iter().any(|o| o.expects == tok.text) {
+                while let Some(top) = stack.pop() {
+                    let matched = top.expects == tok.text;
+                    let group = Group {
+                        open: top.open,
+                        close: matched.then_some(i),
+                        children: top.children,
+                    };
+                    push(&mut stack, &mut roots, Node::Group(group));
+                    if matched {
+                        break;
+                    }
+                }
+            } else {
+                push(&mut stack, &mut roots, Node::Leaf(i));
+            }
+        } else {
+            push(&mut stack, &mut roots, Node::Leaf(i));
+        }
+    }
+    // Unclosed groups run to end of input.
+    while let Some(top) = stack.pop() {
+        let group = Group { open: top.open, close: None, children: top.children };
+        push(&mut stack, &mut roots, Node::Group(group));
+    }
+    TokenTree { roots }
+}
+
+impl TokenTree {
+    /// Flattens the tree back to the token-index sequence it was parsed
+    /// from. The round-trip property (`re_emit(parse(toks)) == 0..n`) is
+    /// what makes the tree safe to build rules on: no token is ever
+    /// dropped, duplicated, or reordered by grouping.
+    pub fn re_emit(&self) -> Vec<usize> {
+        enum Frame<'t> {
+            Node(&'t Node),
+            /// A group's closer, emitted after its children.
+            Close(usize),
+        }
+        let mut out = Vec::new();
+        let mut work: Vec<Frame<'_>> = self.roots.iter().rev().map(Frame::Node).collect();
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Close(i) => out.push(i),
+                Frame::Node(Node::Leaf(i)) => out.push(*i),
+                Frame::Node(Node::Group(g)) => {
+                    out.push(g.open);
+                    if let Some(c) = g.close {
+                        work.push(Frame::Close(c));
+                    }
+                    for ch in g.children.iter().rev() {
+                        work.push(Frame::Node(ch));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Walks every group in the tree, depth-first, in source order.
+    pub fn for_each_group(&self, mut f: impl FnMut(&Group)) {
+        let mut work: Vec<&Node> = self.roots.iter().rev().collect();
+        while let Some(node) = work.pop() {
+            if let Node::Group(g) = node {
+                f(g);
+                for ch in g.children.iter().rev() {
+                    work.push(ch);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let tree = parse(&toks);
+        let emitted = tree.re_emit();
+        let expect: Vec<usize> = (0..toks.len()).collect();
+        assert_eq!(emitted, expect, "round-trip failed for {src:?}");
+    }
+
+    #[test]
+    fn groups_nest() {
+        let toks = lex("fn f(a: u32) { g([1, 2]); }");
+        let tree = parse(&toks);
+        let mut groups = 0;
+        tree.for_each_group(|g| {
+            groups += 1;
+            assert!(g.close.is_some());
+        });
+        assert_eq!(groups, 4); // (a: u32), { … }, (…), […]
+    }
+
+    #[test]
+    fn roundtrip_simple_cases() {
+        for src in [
+            "",
+            "a b c",
+            "fn f() { let x = (1, [2, 3]); }",
+            "s.iter().map(|x| x + 1).collect::<Vec<_>>()",
+            "match x { Some(y) => { y } None => 0 }",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_survives_unbalanced_input() {
+        for src in ["(", ")", "(]", "a { b ( c", "} } }", "[ ( ] )", "fn f( { ) }"] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn unclosed_group_runs_to_eof() {
+        let toks = lex("f(a, b");
+        let tree = parse(&toks);
+        let mut seen = 0;
+        tree.for_each_group(|g| {
+            seen += 1;
+            assert_eq!(g.close, None);
+            assert_eq!(g.children.len(), 3); // a , b
+        });
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn outer_closer_terminates_inner_groups() {
+        // `{ ( }` — the `}` closes the brace; the paren is unterminated
+        // and nests inside it.
+        let toks = lex("{ ( }");
+        let tree = parse(&toks);
+        assert_eq!(tree.roots.len(), 1);
+        let Node::Group(outer) = &tree.roots[0] else { panic!("brace group") };
+        assert!(outer.close.is_some());
+        assert_eq!(outer.children.len(), 1);
+        let Node::Group(inner) = &outer.children[0] else { panic!("paren group") };
+        assert_eq!(inner.close, None);
+    }
+
+    #[test]
+    fn comments_are_leaves() {
+        let toks = lex("f( /* inner */ x ) // tail");
+        let tree = parse(&toks);
+        roundtrip("f( /* inner */ x ) // tail");
+        // roots: `f`, the paren group, the trailing comment.
+        let Node::Group(g) = &tree.roots[1] else { panic!("paren group") };
+        assert_eq!(g.children.len(), 2); // comment + x
+    }
+}

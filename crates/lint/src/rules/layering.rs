@@ -1,0 +1,125 @@
+//! `crate-layering`: the workspace dependency DAG
+//! (`data/text → index/match/fpm → hidden/sampler/store/cache → core →
+//! bench`) must not be inverted. This half of the rule checks `use`
+//! edges per file — an import of a `smartcrawl_*` crate that sits
+//! *above* the importing crate's layer is flagged at the `use` item.
+//! The other half ([`crate::graph::check_workspace_manifests`]) checks
+//! the Cargo manifests, so an illegal edge is caught whether it enters
+//! through source or through `Cargo.toml`.
+//!
+//! Test code is exempt: dev-dependency imports (`core` pulling `data`
+//! scenarios into its `#[cfg(test)]` modules) legitimately point upward
+//! and never ship in the product graph.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::graph::{crate_of_dep, crate_of_path, layer_of, DAG};
+use crate::items::ItemKind;
+use crate::rules::emit;
+use crate::source::{FileKind, SourceFile};
+
+pub fn check(file: &SourceFile<'_>, _cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Test {
+        return;
+    }
+    let Some(own) = crate_of_path(&file.path) else {
+        return;
+    };
+    let Some(own_layer) = layer_of(own) else {
+        return;
+    };
+    for item in &file.items.items {
+        if item.kind != ItemKind::Use || file.in_test_code(item.start) {
+            continue;
+        }
+        let Some(root) = item.use_root.as_deref() else {
+            continue;
+        };
+        let Some(dep) = crate_of_dep(root) else {
+            continue;
+        };
+        let Some(dep_layer) = layer_of(dep) else {
+            continue;
+        };
+        if dep == own {
+            // `use smartcrawl_x` inside crate x: a self-edge via the
+            // crate's own name (integration-test style), never a layering
+            // violation.
+            continue;
+        }
+        if dep_layer > own_layer {
+            emit(
+                out,
+                file,
+                "crate-layering",
+                item.line,
+                item.col,
+                format!(
+                    "`{own}` (layer {own_layer}) imports `{dep}` (layer {dep_layer}) \
+                     — edges must point down the DAG {DAG}"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn back_edge_use_is_flagged() {
+        // The acceptance-criteria synthetic edge: `index` importing `core`.
+        let src = "use smartcrawl_core::pool::Pool;\nfn f() {}\n";
+        let d = diags("crates/index/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "crate-layering");
+        assert!(d[0].message.contains("`index`"));
+        assert!(d[0].message.contains("`core`"));
+    }
+
+    #[test]
+    fn downward_and_same_layer_uses_pass() {
+        let src = "use smartcrawl_text::tokenize;\nuse smartcrawl_index::Index;\nuse smartcrawl_hidden::HiddenDb;\nuse std::sync::Arc;\n";
+        assert!(diags("crates/cache/src/lib.rs", src).is_empty());
+        assert!(diags("crates/core/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_imports_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use smartcrawl_core::pool::Pool;\n}\n";
+        assert!(diags("crates/data/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_files_are_exempt() {
+        let src = "use smartcrawl_core::pool::Pool;\n";
+        assert!(diags("crates/data/tests/integration.rs", src).is_empty());
+    }
+
+    #[test]
+    fn files_outside_the_layered_crates_are_exempt() {
+        let src = "use smartcrawl_core::pool::Pool;\n";
+        assert!(diags("crates/lint/src/lib.rs", src).is_empty());
+        assert!(diags("tests/workspace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn self_import_is_not_an_edge() {
+        let src = "use smartcrawl_store::inverted::Inverted;\n";
+        assert!(diags("crates/store/src/forward.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_may_import_everything() {
+        let src = "use smartcrawl_core::pool::Pool;\nuse smartcrawl_bench::harness;\n";
+        assert!(diags("src/lib.rs", src).is_empty());
+    }
+}

@@ -11,17 +11,23 @@ mod budget;
 mod dense;
 mod determinism;
 mod floats;
+mod hot_alloc;
 mod io;
+mod layering;
 mod panic_free;
+mod send_sync;
 
 /// The checkable rule ids, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 9] = [
     "budget-safety",
     "determinism",
     "panic-freedom",
     "float-hygiene",
     "dense-hot-path",
     "io-hygiene",
+    "send-sync-boundary",
+    "crate-layering",
+    "hot-path-alloc",
 ];
 
 /// Meta rules emitted by the suppression/allowlist machinery itself.
@@ -54,6 +60,15 @@ pub fn run_all(file: &SourceFile<'_>, cfg: &Config) -> Vec<Diagnostic> {
     }
     if cfg.rule_enabled("io-hygiene") {
         io::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("send-sync-boundary") {
+        send_sync::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("crate-layering") {
+        layering::check(file, cfg, &mut out);
+    }
+    if cfg.rule_enabled("hot-path-alloc") {
+        hot_alloc::check(file, cfg, &mut out);
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);

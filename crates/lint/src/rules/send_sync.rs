@@ -1,0 +1,190 @@
+//! `send-sync-boundary`: state crossing the deterministic parallel
+//! runtime must be `Send + Sync`. Closures handed to
+//! `smartcrawl_par::{par_map, par_map_indexed, par_chunks}` (entry
+//! points from `Config::par_entry_points`) — or to raw `thread::spawn`
+//! / `thread::scope` where those are legal — capture from their
+//! enclosing function, so the rule scans the *enclosing `fn`* of every
+//! entry-point call site for capture types that are thread-hostile:
+//! `Rc`, `RefCell`, `Cell`, raw pointers (`*const` / `*mut`), and
+//! `static mut`. Shared state must cross as `Arc` or `&`.
+//!
+//! This is a lexical over-approximation: a banned type anywhere in a
+//! function that fans out is flagged even if it never enters the
+//! closure. That is the point — the async crawl driver lands against
+//! this rule, and "`Rc` near a `par_map`" is exactly the pattern that
+//! becomes a data race one refactor later. False positives carry an
+//! inline `lint:allow` with the reasoning.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::rules::emit;
+use crate::source::{FileKind, SourceFile};
+
+/// Capture types that are `!Send`/`!Sync` (or unsound to share).
+const BANNED_TYPES: [&str; 3] = ["Rc", "RefCell", "Cell"];
+
+pub fn check(file: &SourceFile<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if file.kind == FileKind::Test {
+        return;
+    }
+    // Pass 1: byte spans of functions that hand a closure to the parallel
+    // runtime. Deduplicated so a fn with several par calls scans once.
+    let mut spans: Vec<(usize, usize, &str)> = Vec::new(); // (start, end, entry)
+    let n = file.code.len();
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        if file.in_test_code(tok.offset) {
+            continue;
+        }
+        let is_par_entry = cfg.par_entry_points.iter().any(|e| e == tok.text)
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "(");
+        // `thread :: spawn (` / `thread :: scope (` — legal only inside
+        // `crates/par/` (the determinism rule bans it elsewhere), but the
+        // capture rules apply there too.
+        let is_thread_entry = tok.text == "thread"
+            && file.code_tok(i + 1).is_some_and(|t| t.text == ":")
+            && file.code_tok(i + 2).is_some_and(|t| t.text == ":")
+            && file.code_tok(i + 3).is_some_and(|t| t.text == "spawn" || t.text == "scope")
+            && file.code_tok(i + 4).is_some_and(|t| t.text == "(");
+        if !is_par_entry && !is_thread_entry {
+            continue;
+        }
+        let Some(f) = file.items.enclosing_fn(tok.offset) else {
+            continue;
+        };
+        match spans.iter_mut().find(|(s, e, _)| *s == f.start && *e == f.end) {
+            Some(_) => {}
+            None => spans.push((f.start, f.end, tok.text)),
+        }
+    }
+    if spans.is_empty() {
+        return;
+    }
+    // Pass 2: banned capture types inside those spans.
+    for i in 0..n {
+        let Some(tok) = file.code_tok(i) else { break };
+        let Some(&(_, _, entry)) =
+            spans.iter().find(|&&(s, e, _)| s <= tok.offset && tok.offset < e)
+        else {
+            continue;
+        };
+        if BANNED_TYPES.contains(&tok.text) {
+            // `Cell` must stand alone: `RefCell`/`UnsafeCell` lex as their
+            // own idents, but `Cell ::`/`Cell <`/`: Cell` in paths is the
+            // real type; a struct field *named* cell is an ident `cell`.
+            emit(
+                out,
+                file,
+                "send-sync-boundary",
+                tok.line,
+                tok.col,
+                format!(
+                    "`{}` in a function that fans out through `{entry}` — closures \
+                     crossing the parallel runtime must capture Send+Sync state \
+                     only (Arc or &; no Rc/RefCell/Cell)",
+                    tok.text
+                ),
+            );
+            continue;
+        }
+        // Raw pointer types: `* const T` / `* mut T`.
+        if tok.text == "*"
+            && file.code_tok(i + 1).is_some_and(|t| t.text == "const" || t.text == "mut")
+        {
+            emit(
+                out,
+                file,
+                "send-sync-boundary",
+                tok.line,
+                tok.col,
+                format!(
+                    "raw pointer in a function that fans out through `{entry}` — \
+                     raw pointers are not Send/Sync and must not cross the \
+                     parallel runtime"
+                ),
+            );
+            continue;
+        }
+        // `static mut` — shared mutable global reachable from the closure.
+        if tok.text == "static" && file.code_tok(i + 1).is_some_and(|t| t.text == "mut") {
+            emit(
+                out,
+                file,
+                "send-sync-boundary",
+                tok.line,
+                tok.col,
+                format!(
+                    "`static mut` in a function that fans out through `{entry}` — \
+                     shared state crossing the parallel runtime must be Arc or &"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new("crates/core/src/crawl/driver.rs", src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn rc_near_par_map_is_flagged() {
+        let src = "fn f(v: &[u32]) { let s = Rc::new(1u32); par_map(v, |x| x + *s); }";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "send-sync-boundary");
+        assert!(d[0].message.contains("par_map"));
+    }
+
+    #[test]
+    fn refcell_and_cell_are_flagged() {
+        let src = "fn f(v: &[u32]) { let a = RefCell::new(0); let b = Cell::new(0); par_chunks(v, 8, |c| c.len()); }";
+        assert_eq!(diags(src).len(), 2);
+    }
+
+    #[test]
+    fn raw_pointer_and_static_mut_are_flagged() {
+        let src = "fn f(v: &[u32], p: *mut u32) { static mut X: u32 = 0; par_map(v, |x| *x); }";
+        assert_eq!(diags(src).len(), 2);
+    }
+
+    #[test]
+    fn arc_and_refs_pass() {
+        let src =
+            "fn f(v: &[u32], shared: &Arc<Vec<u32>>) { par_map_indexed(v, |i, x| shared[i] + x); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn rc_without_fanout_passes() {
+        let src = "fn f() { let s = Rc::new(1u32); g(*s); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn other_fns_in_the_file_are_not_scanned() {
+        let src = "fn uses_rc() { let s = Rc::new(1); }\nfn fans_out(v: &[u32]) { par_map(v, |x| x + 1); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_is_an_entry_point() {
+        let src = "fn f() { let s = Rc::new(1u32); std::thread::spawn(move || *s); }";
+        let file = SourceFile::new("crates/par/src/runtime.rs", src);
+        let mut out = Vec::new();
+        check(&file, &Config::default(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f(v: &[u32]) { let s = Rc::new(1); par_map(v, |x| x + *s); } }";
+        assert!(diags(src).is_empty());
+    }
+}

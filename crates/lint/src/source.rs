@@ -1,8 +1,11 @@
-//! Per-file analysis context: lexed tokens, file classification, and
-//! `#[cfg(test)]` / `#[test]` region tracking, so rules can scope
-//! themselves to production code.
+//! Per-file analysis context: lexed tokens, the token tree and item
+//! index built over them, file classification, and `#[cfg(test)]` /
+//! `#[test]` region tracking, so rules can scope themselves to
+//! production code.
 
+use crate::items::{self, ItemIndex};
 use crate::lexer::{lex, Token};
+use crate::parser::{parse, TokenTree};
 
 /// How a file participates in the build — decides which rules apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +29,12 @@ pub struct SourceFile<'a> {
     pub tokens: Vec<Token<'a>>,
     /// Indices into `tokens` of non-comment tokens (rule scanning).
     pub code: Vec<usize>,
+    /// Delimiter tree over `tokens` (flow-aware rules).
+    pub tree: TokenTree,
+    /// Item boundaries (`fn`/`struct`/`enum`/`impl`/`mod`/`use`).
+    pub items: ItemIndex,
+    /// Byte spans of `for`/`while`/`loop` bodies, sorted.
+    pub loop_bodies: Vec<(usize, usize)>,
     /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
     test_regions: Vec<(usize, usize)>,
     /// Byte offset of each line start (line-text lookup).
@@ -54,24 +63,26 @@ impl<'a> SourceFile<'a> {
     /// Lexes and classifies `src` under the given workspace-relative path.
     pub fn new(path: &str, src: &'a str) -> Self {
         let tokens = lex(src);
-        let code: Vec<usize> = tokens
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.is_comment())
-            .map(|(i, _)| i)
-            .collect();
+        let code: Vec<usize> =
+            tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).map(|(i, _)| i).collect();
         let mut line_starts = vec![0usize];
         for (i, b) in src.bytes().enumerate() {
             if b == b'\n' {
                 line_starts.push(i + 1);
             }
         }
+        let tree = parse(&tokens);
+        let item_index = items::index(&tokens, &tree, src.len());
+        let loop_bodies = items::loop_bodies(&tokens, &tree, src.len());
         let mut file = Self {
             path: path.replace('\\', "/"),
             kind: classify(path),
             src,
             tokens,
             code,
+            tree,
+            items: item_index,
+            loop_bodies,
             test_regions: Vec::new(),
             line_starts,
         };
@@ -114,7 +125,9 @@ impl<'a> SourceFile<'a> {
         let mut i = 0usize;
         while i < toks.len() {
             if let Some(after_attr) = self.match_test_attr(i) {
-                let Some(start) = self.code_tok(i).map(|t| t.offset) else { break };
+                let Some(start) = self.code_tok(i).map(|t| t.offset) else {
+                    break;
+                };
                 let mut j = after_attr;
                 // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod m`).
                 while self.tok_text(j) == Some("#") && self.tok_text(j + 1) == Some("[") {
@@ -198,9 +211,7 @@ impl<'a> SourceFile<'a> {
 
     /// Byte offset just past the code token at code-index `i`.
     fn end_offset(&self, i: usize) -> usize {
-        self.code_tok(i)
-            .map(|t| t.offset + t.text.len())
-            .unwrap_or(self.src.len())
+        self.code_tok(i).map(|t| t.offset + t.text.len()).unwrap_or(self.src.len())
     }
 }
 

@@ -1,0 +1,123 @@
+//! End-to-end CLI tests: run the real `smartcrawl-lint` binary against a
+//! throwaway mini-workspace and check output formats and exit codes —
+//! including the CI-gating behavior that a stale allowlist entry exits
+//! nonzero, not just prints.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Path to the compiled binary under test (set by cargo for integration
+/// tests of crates with a `[[bin]]` target).
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_smartcrawl-lint")
+}
+
+/// A scratch workspace directory, unique per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("smartcrawl-lint-cli-{test}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.0.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        fs::write(&path, content).expect("write scratch file");
+    }
+
+    fn run(&self, args: &[&str]) -> Output {
+        Command::new(bin())
+            .arg("--root")
+            .arg(&self.0)
+            .args(args)
+            .output()
+            .expect("run smartcrawl-lint")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let ws = Scratch::new("clean");
+    ws.write("crates/x/src/lib.rs", "fn add(a: u32, b: u32) -> u32 { a.wrapping_add(b) }\n");
+    let out = ws.run(&[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn violation_exits_one_and_renders_file_line_col() {
+    let ws = Scratch::new("violation");
+    ws.write("crates/x/src/lib.rs", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+    let out = ws.run(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("crates/x/src/lib.rs:1:33: [panic-freedom]"),
+        "diagnostic position missing: {text}"
+    );
+}
+
+#[test]
+fn json_format_is_machine_readable() {
+    let ws = Scratch::new("json");
+    ws.write("crates/x/src/lib.rs", "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n");
+    let out = ws.run(&["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "json mode keeps the exit contract");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"findings\":["), "not a JSON report: {text}");
+    assert!(text.contains("\"rule\":\"panic-freedom\""));
+    assert!(text.contains("\"path\":\"crates/x/src/lib.rs\""));
+    assert!(text.contains("\"line\":1"));
+    assert!(text.contains("\"clean\":false"));
+}
+
+#[test]
+fn stale_allowlist_entry_exits_nonzero() {
+    let ws = Scratch::new("stale");
+    ws.write("crates/x/src/lib.rs", "fn ok() -> u32 { 7 }\n");
+    // Entry matches nothing: the code it once justified is gone.
+    ws.write(
+        "lint-allow.txt",
+        "allow panic-freedom crates/x/src/lib.rs `gone.unwrap()` -- removed long ago\n",
+    );
+    let out = ws.run(&[]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale entries must fail the gate: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[stale-allowlist]"), "{text}");
+}
+
+#[test]
+fn crate_layering_sees_manifest_back_edges() {
+    let ws = Scratch::new("layering");
+    ws.write("crates/index/src/lib.rs", "fn ok() {}\n");
+    ws.write(
+        "crates/index/Cargo.toml",
+        "[package]\nname = \"smartcrawl-index\"\n\n[dependencies]\nsmartcrawl-core.workspace = true\n",
+    );
+    ws.write("Cargo.toml", "[workspace]\nmembers = [\"crates/index\"]\n");
+    let out = ws.run(&["--rule", "crate-layering"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("crates/index/Cargo.toml:5:1: [crate-layering]"),
+        "manifest edge not reported: {text}"
+    );
+}

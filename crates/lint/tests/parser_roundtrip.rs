@@ -1,0 +1,73 @@
+//! The token-tree parser's losslessness property: for *any* input —
+//! balanced, unbalanced, or pure delimiter soup — flattening the parsed
+//! tree re-emits exactly the lexed token stream, in order, with nothing
+//! dropped or duplicated. Every flow-aware rule walks this tree, so the
+//! property is what guarantees a rule can never miss a token because
+//! grouping mangled it.
+
+use proptest::prelude::*;
+use smartcrawl_lint::lexer::lex;
+use smartcrawl_lint::parser::parse;
+
+/// Alphabet the generator draws from: idents, keywords, punctuation,
+/// literals, comments, and an over-weighted supply of mismatched
+/// delimiters (the error-recovery paths are the ones worth hammering).
+const PIECES: [&str; 24] = [
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "(",
+    ")",
+    "{",
+    "}", // delimiter soup
+    "fn",
+    "for",
+    "impl",
+    "ident",
+    "x",
+    ";",
+    ",",
+    "::",
+    "->",
+    "1.5e3",
+    "\"a { string ( with ] delims\"",
+    "// line comment",
+    "/* block { ( */",
+    "'c'",
+];
+
+fn source_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..PIECES.len(), 0..64).prop_map(|picks| {
+        let mut src = String::new();
+        for (n, i) in picks.iter().enumerate() {
+            if n > 0 {
+                // Line comments must not swallow the rest of the input.
+                src.push(if src.ends_with("comment") { '\n' } else { ' ' });
+            }
+            src.push_str(PIECES[*i]);
+        }
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn re_emit_is_the_identity_on_token_indices(src in source_strategy()) {
+        let tokens = lex(&src);
+        let tree = parse(&tokens);
+        let emitted = tree.re_emit();
+        let expected: Vec<usize> = (0..tokens.len()).collect();
+        prop_assert_eq!(emitted, expected);
+    }
+
+    #[test]
+    fn parse_is_deterministic(src in source_strategy()) {
+        let tokens = lex(&src);
+        prop_assert_eq!(parse(&tokens), parse(&tokens));
+    }
+}

@@ -54,15 +54,14 @@ impl DiskForwardIndex {
         let path = runtime.file_path("fwd");
         let mut writer = BlobWriter::create(&path, runtime.config().page_size)?;
         let mut locs = Vec::with_capacity(num_records);
+        // One chunk's worth of row buffers, reused (cleared) every chunk.
         let mut rows: Vec<Vec<u32>> = Vec::new();
+        rows.resize_with(BUILD_CHUNK.min(num_records), Vec::new);
         let mut encoded = Vec::new();
         let mut total = 0usize;
         let mut lo = 0usize;
         while lo < num_records {
             let hi = (lo + BUILD_CHUNK).min(num_records);
-            if rows.len() < hi - lo {
-                rows.resize_with(hi - lo, Vec::new);
-            }
             for (q, matches) in query_matches.iter().enumerate() {
                 let start = matches.partition_point(|r| r.index() < lo);
                 for &rid in matches.get(start..).unwrap_or(&[]) {

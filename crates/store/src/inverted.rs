@@ -139,10 +139,16 @@ impl DiskInvertedIndex {
         let mut df = vec![0u32; vocab_size];
         let mut shards = Vec::with_capacity(num_shards);
         let budget = runtime.shard_cache_budget();
+        // Per-token posting accumulators and the varint scratch buffer,
+        // allocated once and reused (cleared) across shards, so building
+        // `num_shards` shards does not pay `num_shards × vocab_size`
+        // allocations. Peak memory stays one shard's posting lists.
+        let mut lists: Vec<Vec<u32>> = Vec::new();
+        lists.resize_with(vocab_size, Vec::new);
+        let mut encoded = Vec::new();
         for s in 0..num_shards {
             let lo = (s * per_shard).min(n);
             let hi = ((s + 1) * per_shard).min(n);
-            let mut lists: Vec<Vec<u32>> = vec![Vec::new(); vocab_size];
             let in_range = docs.get(lo..hi).unwrap_or(&[]);
             for (i, doc) in in_range.iter().enumerate() {
                 let rid = (lo + i) as u32;
@@ -155,28 +161,30 @@ impl DiskInvertedIndex {
                     list.push(rid);
                 }
             }
-            let path = runtime.file_path(&format!("inv{s}"));
+            // One shard-name allocation per file created, not per record.
+            let path = runtime.file_path(&format!("inv{s}")); // lint:allow(hot-path-alloc) once per shard file, dwarfed by the create() it names
             let mut writer = BlobWriter::create(&path, config.page_size)?;
             let mut locs = Vec::with_capacity(vocab_size);
             let mut counts = Vec::with_capacity(vocab_size);
-            let mut encoded = Vec::new();
-            for (ids, df_slot) in lists.iter().zip(df.iter_mut()) {
+            for (ids, df_slot) in lists.iter_mut().zip(df.iter_mut()) {
                 encoded.clear();
                 encode_postings(ids, &mut encoded);
                 locs.push(writer.append(&encoded)?);
                 counts.push(ids.len() as u32);
                 *df_slot += ids.len() as u32;
+                // Reset for the next shard; capacity is kept.
+                ids.clear();
             }
             writer.finish()?;
-            drop(lists);
             let blob = BlobReader::open(&path, budget, runtime.shared_stats())?;
             shards.push(Shard {
                 locs,
                 counts,
                 reader: Mutex::new(ShardReader {
                     blob,
-                    bufs: Vec::new(),
-                    seed: Vec::new(),
+                    // Shard-owned scratch, zero-capacity until first read.
+                    bufs: Vec::new(), // lint:allow(hot-path-alloc) Vec::new allocates nothing; filled lazily per query
+                    seed: Vec::new(), // lint:allow(hot-path-alloc) Vec::new allocates nothing; filled lazily per query
                 }),
             });
         }
