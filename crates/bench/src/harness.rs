@@ -82,6 +82,12 @@ pub struct RunSpec {
     /// results are byte-identical either way; only memory residency and
     /// the report's `store` block differ.
     pub backend: IndexBackendConfig,
+    /// Crawl-driver pipeline depth (1 = strictly sequential). Depths > 1
+    /// overlap speculative hidden-site searches with selection and
+    /// matching; results are byte-identical at any depth by construction
+    /// (commit-order accounting), so this knob only moves wall-clock and
+    /// the report's `pipeline` profile.
+    pub pipeline_depth: usize,
 }
 
 impl RunSpec {
@@ -106,6 +112,7 @@ impl RunSpec {
             seed: 0,
             sample_override: None,
             backend: IndexBackendConfig::Ram,
+            pipeline_depth: 1,
         }
     }
 }
@@ -246,92 +253,96 @@ fn dispatch<I: SearchInterface>(
         }
     };
 
-    let mut report = match spec.approach {
-        Approach::Ideal => ideal_crawl_with(
-            &local,
-            iface,
-            &scenario.hidden,
-            &IdealCrawlConfig {
-                budget: spec.budget,
-                matcher: spec.matcher,
-                pool: spec.pool,
-            },
-            retry,
-            observer,
-            ctx,
-        ),
-        Approach::SmartB | Approach::SmartU | Approach::Simple | Approach::Bound => {
-            let (strategy, sample) = match spec.approach {
-                Approach::SmartB => (
-                    Strategy::Est {
-                        kind: smartcrawl_core::EstimatorKind::Biased,
-                        delta_removal: spec.delta_removal,
-                    },
-                    smart_sample(spec.theta),
-                ),
-                Approach::SmartU => (
-                    Strategy::Est {
-                        kind: smartcrawl_core::EstimatorKind::Unbiased,
-                        delta_removal: spec.delta_removal,
-                    },
-                    smart_sample(spec.theta),
-                ),
-                Approach::Simple => (
-                    Strategy::Simple,
-                    HiddenSample {
-                        records: vec![],
-                        theta: 0.0,
-                    },
-                ),
-                Approach::Bound => (
-                    Strategy::Bound,
-                    HiddenSample {
-                        records: vec![],
-                        theta: 0.0,
-                    },
-                ),
-                _ => unreachable!(),
-            };
-            smart_crawl_with(
+    // Scoped: the depth applies to exactly this run, so sweeps mixing
+    // sequential and pipelined specs can't leak depth across runs.
+    let mut report =
+        smartcrawl_par::with_pipeline_depth(spec.pipeline_depth, || match spec.approach {
+            Approach::Ideal => ideal_crawl_with(
                 &local,
-                &sample,
                 iface,
-                &SmartCrawlConfig {
+                &scenario.hidden,
+                &IdealCrawlConfig {
                     budget: spec.budget,
-                    strategy,
                     matcher: spec.matcher,
                     pool: spec.pool,
-                    omega: spec.omega,
                 },
                 retry,
                 observer,
                 ctx,
-            )
-        }
-        Approach::Naive => naive_crawl_with(
-            &local,
-            iface,
-            spec.budget,
-            spec.matcher,
-            spec.seed,
-            retry,
-            observer,
-            ctx,
-        ),
-        Approach::Full => {
-            let sample = bernoulli_sample(&scenario.hidden, spec.full_theta, spec.seed ^ 0xF011);
-            full_crawl_with(
+            ),
+            Approach::SmartB | Approach::SmartU | Approach::Simple | Approach::Bound => {
+                let (strategy, sample) = match spec.approach {
+                    Approach::SmartB => (
+                        Strategy::Est {
+                            kind: smartcrawl_core::EstimatorKind::Biased,
+                            delta_removal: spec.delta_removal,
+                        },
+                        smart_sample(spec.theta),
+                    ),
+                    Approach::SmartU => (
+                        Strategy::Est {
+                            kind: smartcrawl_core::EstimatorKind::Unbiased,
+                            delta_removal: spec.delta_removal,
+                        },
+                        smart_sample(spec.theta),
+                    ),
+                    Approach::Simple => (
+                        Strategy::Simple,
+                        HiddenSample {
+                            records: vec![],
+                            theta: 0.0,
+                        },
+                    ),
+                    Approach::Bound => (
+                        Strategy::Bound,
+                        HiddenSample {
+                            records: vec![],
+                            theta: 0.0,
+                        },
+                    ),
+                    _ => unreachable!(),
+                };
+                smart_crawl_with(
+                    &local,
+                    &sample,
+                    iface,
+                    &SmartCrawlConfig {
+                        budget: spec.budget,
+                        strategy,
+                        matcher: spec.matcher,
+                        pool: spec.pool,
+                        omega: spec.omega,
+                    },
+                    retry,
+                    observer,
+                    ctx,
+                )
+            }
+            Approach::Naive => naive_crawl_with(
                 &local,
-                &sample,
                 iface,
                 spec.budget,
                 spec.matcher,
+                spec.seed,
                 retry,
                 observer,
                 ctx,
-            )
-        }
-    };
+            ),
+            Approach::Full => {
+                let sample =
+                    bernoulli_sample(&scenario.hidden, spec.full_theta, spec.seed ^ 0xF011);
+                full_crawl_with(
+                    &local,
+                    &sample,
+                    iface,
+                    spec.budget,
+                    spec.matcher,
+                    retry,
+                    observer,
+                    ctx,
+                )
+            }
+        });
     // Disk runs carry the page-cache residency numbers out through the
     // report; the RAM backend has no store and the field stays None. The
     // stats are schedule-dependent (hit/miss order varies with thread

@@ -121,6 +121,49 @@ impl<I: SearchInterface> SearchInterface for CachedInterface<'_, I> {
         // notification through to any meter below.
         self.inner.record_cache_hit(keywords, results, charge)
     }
+
+    fn begin_query(&mut self, index: usize) {
+        self.inner.begin_query(index);
+    }
+
+    fn prefetch_handle<'h>(&self) -> Option<&'h smartcrawl_hidden::HiddenDb>
+    where
+        Self: 'h,
+    {
+        self.inner.prefetch_handle()
+    }
+
+    fn commit_prefetched(
+        &mut self,
+        keywords: &[String],
+        prefetched: &SearchPage,
+    ) -> Result<SearchPage, SearchError> {
+        // Mirror `search` exactly: a cached page wins over the prefetched
+        // one (same bytes against a deterministic engine, and the hit's
+        // budget/audit accounting must happen either way); a miss commits
+        // the speculative page through the inner stack instead of
+        // recomputing it.
+        let key = canonical_query_key(keywords);
+        if let Some(page) = self.cache.peek(&key) {
+            let results = page.records.len();
+            let page = page.clone();
+            self.inner
+                .record_cache_hit(keywords, results, self.cache.policy().charged_hits)?;
+            self.cache.commit_hit(&key);
+            return Ok(page);
+        }
+        self.cache.note_miss();
+        match self.inner.commit_prefetched(keywords, prefetched) {
+            Ok(page) => {
+                self.cache.insert(key, page.clone());
+                Ok(page)
+            }
+            Err(err) => {
+                self.cache.note_uncached_error();
+                Err(err)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +256,28 @@ mod tests {
             FlakyInterface::new(Metered::new(&db, None), 1.0, 9),
         );
         assert_eq!(iface.search(&["steak".into()]).unwrap(), page);
+    }
+
+    #[test]
+    fn commit_prefetched_mirrors_search_on_hits_and_misses() {
+        use smartcrawl_hidden::SearchPage;
+        let db = tiny_db();
+        let kw = vec!["house".to_string()];
+        let prefetched = SearchPage { records: HiddenDb::search(&db, &kw) };
+
+        let mut store_a = QueryCache::default();
+        let mut seq = CachedInterface::new(&mut store_a, Metered::new(&db, Some(10)));
+        let miss_page = seq.search(&kw).unwrap();
+        let hit_page = seq.search(&kw).unwrap();
+        drop(seq);
+
+        let mut store_b = QueryCache::default();
+        let mut pipe = CachedInterface::new(&mut store_b, Metered::new(&db, Some(10)));
+        assert_eq!(pipe.commit_prefetched(&kw, &prefetched).unwrap(), miss_page);
+        assert_eq!(pipe.commit_prefetched(&kw, &prefetched).unwrap(), hit_page);
+        assert_eq!(pipe.queries_issued(), 1, "the hit never reached the meter");
+        drop(pipe);
+        assert_eq!(store_a.stats(), store_b.stats(), "cache counters identical");
     }
 
     #[test]

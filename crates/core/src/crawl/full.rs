@@ -61,6 +61,12 @@ impl QuerySource for FullSource<'_> {
         Some(vec![word])
     }
 
+    fn next_queries(&mut self, _issued: usize, m: usize) -> Vec<Vec<String>> {
+        // The ranked keyword list is fixed up front; a cursor-window peek
+        // is an always-right forecast.
+        self.keywords.iter().skip(self.cursor).take(m).map(|w| vec![w.clone()]).collect()
+    }
+
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
         Observation {
             newly_covered: self.matches.absorb(&page.records, &mut self.ctx),

@@ -42,7 +42,9 @@ pub use online::{online_smart_crawl, online_smart_crawl_with, OnlineCrawlConfig,
 pub use populate::{
     populate_crawl, populate_crawl_with, PopulateConfig, PopulateOutcome, PopulateSource,
 };
-pub use session::{CrawlSession, EngineSource, Observation, PhaseTimings, QuerySource};
+pub use session::{
+    CrawlSession, EngineSource, Observation, PhaseTimings, PipelineStats, QuerySource,
+};
 pub use smart::{
     ideal_crawl, ideal_crawl_with, smart_crawl, smart_crawl_with, IdealCrawlConfig,
     SmartCrawlConfig,
@@ -104,6 +106,12 @@ pub struct CrawlReport {
     /// interface stack. Always this run's *delta*, even when the cache
     /// store is shared across runs (warm sweeps).
     pub cache: Option<smartcrawl_hidden::CacheStats>,
+    /// Speculation accounting of the pipelined driver — `None` for
+    /// sequential runs (pipeline depth 1, or no
+    /// [`prefetch_handle`](smartcrawl_hidden::SearchInterface::prefetch_handle)
+    /// in the interface stack). Pure profile, like `cache`: never folded
+    /// into result digests.
+    pub pipeline: Option<session::PipelineStats>,
     /// Page-cache activity of the on-disk index backend — `None` on the
     /// (default) RAM backend. Attached by the bench harness after the
     /// crawl; cache statistics are schedule-dependent, so they are

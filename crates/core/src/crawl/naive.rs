@@ -46,6 +46,23 @@ impl QuerySource for NaiveSource<'_> {
         None
     }
 
+    fn next_queries(&mut self, _issued: usize, m: usize) -> Vec<Vec<String>> {
+        // Cursor peek replicating next_query's empty-document skip, with
+        // no cursor movement: the shuffled order is fixed up front, so
+        // these forecasts are always right.
+        let mut hints = Vec::with_capacity(m);
+        for &i in self.order.iter().skip(self.cursor) {
+            if hints.len() >= m {
+                break;
+            }
+            let doc = self.local.doc(i);
+            if !doc.is_empty() {
+                hints.push(Query::from_document(doc).render(&self.ctx));
+            }
+        }
+        hints
+    }
+
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
         Observation {
             newly_covered: self.matches.absorb(&page.records, &mut self.ctx),

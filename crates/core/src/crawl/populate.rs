@@ -138,6 +138,17 @@ impl QuerySource for PopulateSource {
         Some(self.pool.render(smartcrawl_index::QueryId(qi as u32), &self.ctx))
     }
 
+    fn next_queries(&mut self, _issued: usize, m: usize) -> Vec<Vec<String>> {
+        // The yield-ranked order is fixed up front; a cursor-window peek
+        // is an always-right forecast.
+        self.order
+            .iter()
+            .skip(self.cursor)
+            .take(m)
+            .map(|&qi| self.pool.render(smartcrawl_index::QueryId(qi as u32), &self.ctx))
+            .collect()
+    }
+
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
         for r in &page.records {
             if self.seen.intern(r.external_id).1 {

@@ -26,7 +26,9 @@ use crate::crawl::observe::{CrawlEvent, CrawlObserver, EventCounts, EventStamp};
 use crate::crawl::{CrawlReport, CrawlStep, EnrichedPair};
 use crate::local::{LocalDb, LocalMatchIndex};
 use crate::select::engine::{Engine, ProcessOutcome, SelectionStats};
-use smartcrawl_hidden::{RetryPolicy, Retrieved, SearchError, SearchInterface, SearchPage};
+use smartcrawl_hidden::{
+    HiddenDb, RetryPolicy, Retrieved, SearchError, SearchInterface, SearchPage,
+};
 use smartcrawl_index::QueryId;
 use smartcrawl_match::Matcher;
 use std::time::Instant;
@@ -53,6 +55,52 @@ impl PhaseTimings {
     /// Total measured wall-clock nanoseconds across the three phases.
     pub fn total_ns(&self) -> u64 {
         self.selection_ns + self.search_ns + self.matching_ns
+    }
+}
+
+/// Speculation accounting of one pipelined crawl (`--pipeline-depth > 1`
+/// with an interface stack that exposes a
+/// [`prefetch_handle`](SearchInterface::prefetch_handle)). Pure profile:
+/// none of these numbers feed back into any crawl decision, and the crawl
+/// trajectory is byte-identical to the sequential driver's at every depth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// The pipeline depth the session ran at (≥ 2; depth 1 runs the
+    /// sequential driver and reports no pipeline section).
+    pub depth: usize,
+    /// Speculative searches handed to the worker pipeline.
+    pub prefetches: usize,
+    /// Issued queries served from a speculative result (the overlap wins).
+    pub prefetch_hits: usize,
+    /// Speculations cancelled because the source's next hint batch no
+    /// longer predicted them (selection state moved under the window).
+    pub mispredicts: usize,
+    /// Speculations still in flight when the session ended.
+    pub discarded: usize,
+    /// Wall time workers spent computing speculative pages, in
+    /// nanoseconds. Overlapped work: compare against `wait_ns` for the
+    /// realized overlap ratio.
+    pub worker_search_ns: u64,
+    /// Wall time the driver spent blocked waiting for a speculative page
+    /// it wanted to commit, in nanoseconds.
+    pub wait_ns: u64,
+    /// Wall time spent computing hint batches
+    /// ([`QuerySource::next_queries`]), in nanoseconds — the price of
+    /// speculation, kept out of `selection_ns` so sequential and pipelined
+    /// phase profiles stay comparable.
+    pub speculation_ns: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of worker search time that did not stall the driver:
+    /// `(worker_search_ns − wait_ns) / worker_search_ns`, clamped at 0.
+    /// 1.0 means every committed page was ready before the driver asked.
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.worker_search_ns == 0 {
+            return 0.0;
+        }
+        self.worker_search_ns.saturating_sub(self.wait_ns) as f64
+            / self.worker_search_ns as f64
     }
 }
 
@@ -92,6 +140,26 @@ pub trait QuerySource {
     /// queries served so far — sources with internal round structure (e.g.
     /// online sampling) use it to bound multi-query rounds.
     fn next_query(&mut self, issued: usize) -> Option<Vec<String>>;
+
+    /// A non-binding forecast of the next up-to-`m` queries this source
+    /// expects [`QuerySource::next_query`] to return, best first — the
+    /// batch-selection hook the pipelined driver speculates on.
+    ///
+    /// Contract: *peek, don't consume*. The source's state must be
+    /// unchanged afterwards, and every query is still issued through the
+    /// authoritative `next_query`. Hints may be wrong (feedback from pages
+    /// served in between can reorder any priority structure) — a wrong
+    /// hint costs a wasted speculative search, never a wrong result.
+    ///
+    /// The default returns no hints, which simply disables speculation
+    /// for the source. (A default that called `next_query` `m` times
+    /// would *consume* queries and change the crawl for every
+    /// feedback-driven source — exactly the bug class this trait split
+    /// exists to rule out.)
+    fn next_queries(&mut self, issued: usize, m: usize) -> Vec<Vec<String>> {
+        let _ = (issued, m);
+        Vec::new()
+    }
 
     /// Absorbs the served page of the query last returned by
     /// [`QuerySource::next_query`].
@@ -162,12 +230,26 @@ impl CrawlSession {
 
     /// Drives `source` against `iface` until a stop condition, reporting
     /// every step, enrichment pair, phase timing, and event count.
+    ///
+    /// With a pipeline depth > 1 in scope
+    /// ([`with_pipeline_depth`](smartcrawl_par::with_pipeline_depth)) and
+    /// an interface stack exposing a
+    /// [`prefetch_handle`](SearchInterface::prefetch_handle), the session
+    /// runs the pipelined driver instead — byte-identical trajectory,
+    /// overlapped search latency, and a
+    /// [`pipeline`](CrawlReport::pipeline) section in the report.
     pub fn run<S: QuerySource + ?Sized, I: SearchInterface>(
         &self,
         source: &mut S,
         iface: &mut I,
         observer: &mut dyn CrawlObserver,
     ) -> CrawlReport {
+        let depth = smartcrawl_par::current_pipeline_depth();
+        if depth > 1 {
+            if let Some(db) = iface.prefetch_handle() {
+                return self.run_pipelined(source, iface, observer, depth, db);
+            }
+        }
         let mut ins = Instrument {
             // lint:allow(determinism) wall time feeds event timestamps only, never selection
             start: Instant::now(),
@@ -180,6 +262,11 @@ impl CrawlSession {
         let mut timing = PhaseTimings::default();
         // Transient attempts charged to the budget on top of served steps.
         let mut failed_attempts = 0usize;
+        // Ordinal of the next issued query (counts every QueryIssued,
+        // including queries later dropped after retry exhaustion). Keys
+        // the interface stack's per-query state (fault-injection draws)
+        // so sequential and pipelined runs burn identical randomness.
+        let mut issued_ordinal = 0usize;
         // Counter snapshot of any query-result cache in the interface
         // stack: per-query hit/miss events diff against it, and the report
         // carries this run's delta even when the store is shared.
@@ -193,6 +280,8 @@ impl CrawlSession {
                 break; // source exhausted: pool drained or nothing live
             };
             ins.emit(CrawlEvent::QueryIssued { terms: keywords.len() });
+            iface.begin_query(issued_ordinal);
+            issued_ordinal += 1;
 
             let mut attempt = 0usize;
             let page = loop {
@@ -265,6 +354,219 @@ impl CrawlSession {
         report.selection = source.selection_stats();
         report.timing = timing;
         report.events = ins.counts;
+        if let (Some(start), Some(end)) = (cache_at_start, iface.cache_stats()) {
+            report.cache = Some(end.since(&start));
+        }
+        report
+    }
+
+    /// The pipelined driver: overlaps speculative `HiddenDb::search` calls
+    /// (pure, side-effect free) on worker threads with selection, page
+    /// matching, and removal on this thread.
+    ///
+    /// Determinism argument, in full (DESIGN.md §14 for the prose
+    /// version): workers compute *pages only* — `db` is the bottom of the
+    /// interface stack and has no interior mutability. Every stateful step
+    /// happens here, in issue order: the authoritative
+    /// [`QuerySource::next_query`] picks each query exactly as the
+    /// sequential driver would; a speculative page is committed through
+    /// [`SearchInterface::commit_prefetched`], which every wrapper
+    /// (budget meter, cache, fault injector) implements to be observably
+    /// identical to [`SearchInterface::search`]; and fault-injection draws
+    /// are keyed on the issued-query ordinal propagated via
+    /// [`SearchInterface::begin_query`], not on call order. Completion
+    /// order of workers is unobservable — results are claimed by ticket —
+    /// so the report is byte-identical to the sequential driver's at any
+    /// depth and thread count.
+    ///
+    /// This loop must mirror [`CrawlSession::run`]'s event emission,
+    /// budget accounting, and retry handling exactly; the cross-crate
+    /// `pipeline_properties` tests hold the two drivers to byte-identical
+    /// digests for every approach.
+    fn run_pipelined<S: QuerySource + ?Sized, I: SearchInterface>(
+        &self,
+        source: &mut S,
+        iface: &mut I,
+        observer: &mut dyn CrawlObserver,
+        depth: usize,
+        db: &HiddenDb,
+    ) -> CrawlReport {
+        let mut ins = Instrument {
+            // lint:allow(determinism) wall time feeds event timestamps only, never selection
+            start: Instant::now(),
+            seq: 0,
+            counts: EventCounts::default(),
+            observer,
+        };
+        let k = iface.k();
+        let mut report = CrawlReport::default();
+        let mut timing = PhaseTimings::default();
+        let mut failed_attempts = 0usize;
+        let mut issued_ordinal = 0usize;
+        let cache_at_start = iface.cache_stats();
+        let mut pstats = PipelineStats { depth, ..Default::default() };
+
+        smartcrawl_par::run_pipeline(
+            depth,
+            |keywords: Vec<String>| {
+                // Pure page computation; timed so the driver can report
+                // how much search latency the overlap absorbed.
+                let t = Instant::now();
+                let page = SearchPage { records: db.search(&keywords) };
+                (page, t.elapsed().as_nanos() as u64)
+            },
+            |pipe| {
+                // Speculations in flight: `(keywords, ticket)`, oldest
+                // first, at most `depth` entries.
+                let mut in_flight: Vec<(Vec<String>, u64)> = Vec::new();
+                'session: while report.steps.len() + failed_attempts < self.budget {
+                    // Refill the speculation window from the source's
+                    // current forecast: cancel in-flight entries it no
+                    // longer predicts, submit the new ones.
+                    let t = Instant::now();
+                    let hints = source.next_queries(report.steps.len(), depth);
+                    pstats.speculation_ns += t.elapsed().as_nanos() as u64;
+                    let mut kept = Vec::with_capacity(in_flight.len());
+                    for (kw, ticket) in in_flight.drain(..) {
+                        if hints.contains(&kw) {
+                            kept.push((kw, ticket));
+                        } else {
+                            pipe.forget(ticket);
+                            pstats.mispredicts += 1;
+                        }
+                    }
+                    in_flight = kept;
+                    // Never speculate past the remaining budget: those
+                    // queries could only be discarded.
+                    let window = depth
+                        .min(self.budget - (report.steps.len() + failed_attempts));
+                    for kw in hints {
+                        if in_flight.len() >= window {
+                            break;
+                        }
+                        if in_flight.iter().any(|(q, _)| *q == kw) {
+                            continue;
+                        }
+                        pstats.prefetches += 1;
+                        let ticket = pipe.submit(kw.clone());
+                        in_flight.push((kw, ticket));
+                    }
+
+                    let t = Instant::now();
+                    let next = source.next_query(report.steps.len());
+                    timing.selection_ns += t.elapsed().as_nanos() as u64;
+                    let Some(keywords) = next else {
+                        break; // source exhausted: pool drained or nothing live
+                    };
+                    ins.emit(CrawlEvent::QueryIssued { terms: keywords.len() });
+                    iface.begin_query(issued_ordinal);
+                    issued_ordinal += 1;
+
+                    // Claim the speculative page if the forecast was right
+                    // (matched by keyword equality — the engine's pages
+                    // are a pure function of the keywords).
+                    let prefetched = in_flight
+                        .iter()
+                        .position(|(q, _)| *q == keywords)
+                        .map(|i| {
+                            let (_, ticket) = in_flight.remove(i);
+                            let t = Instant::now();
+                            let (page, search_ns) = pipe.take(ticket);
+                            pstats.wait_ns += t.elapsed().as_nanos() as u64;
+                            pstats.worker_search_ns += search_ns;
+                            pstats.prefetch_hits += 1;
+                            page
+                        });
+
+                    let mut attempt = 0usize;
+                    let page = loop {
+                        let hits_before =
+                            cache_at_start.and_then(|_| iface.cache_stats()).map(|s| s.hits);
+                        let t = Instant::now();
+                        // Retries re-commit the same speculative page:
+                        // against the deterministic engine that is
+                        // equivalent to re-searching, and the accounting
+                        // stack charges/draws identically either way.
+                        let result = match &prefetched {
+                            Some(page) => iface.commit_prefetched(&keywords, page),
+                            None => iface.search(&keywords),
+                        };
+                        timing.search_ns += t.elapsed().as_nanos() as u64;
+                        match result {
+                            Ok(page) => {
+                                if let Some(before) = hits_before {
+                                    let now =
+                                        iface.cache_stats().map_or(before, |s| s.hits);
+                                    if now > before {
+                                        ins.emit(CrawlEvent::CacheHit {
+                                            results: page.records.len(),
+                                        });
+                                    } else {
+                                        ins.emit(CrawlEvent::CacheMiss);
+                                    }
+                                }
+                                break page;
+                            }
+                            Err(SearchError::BudgetExhausted) => {
+                                ins.emit(CrawlEvent::BudgetExhausted);
+                                break 'session;
+                            }
+                            Err(err) => {
+                                debug_assert!(err.is_retryable());
+                                failed_attempts += 1;
+                                let budget_left =
+                                    report.steps.len() + failed_attempts < self.budget;
+                                if attempt >= self.retry.max_retries || !budget_left {
+                                    source.on_failure(&keywords);
+                                    continue 'session;
+                                }
+                                attempt += 1;
+                                timing.backoff_ticks += self.retry.backoff(attempt);
+                                ins.emit(CrawlEvent::RetryAttempted { attempt });
+                            }
+                        }
+                    };
+
+                    ins.emit(CrawlEvent::PageReceived {
+                        len: page.records.len(),
+                        full: page.is_full(k),
+                    });
+                    let t = Instant::now();
+                    let observation = source.observe(&keywords, &page, k);
+                    timing.matching_ns += t.elapsed().as_nanos() as u64;
+
+                    for pair in &observation.newly_covered {
+                        ins.emit(CrawlEvent::Matched { local: pair.local });
+                    }
+                    if observation.removed > 0 {
+                        ins.emit(CrawlEvent::Removed { count: observation.removed });
+                    }
+                    report.records_removed += observation.removed;
+                    report.enriched.extend(observation.newly_covered);
+                    report.steps.push(CrawlStep {
+                        keywords,
+                        returned: page.records.iter().map(|r| r.external_id).collect(),
+                        full_page: page.is_full(k),
+                    });
+                }
+                // Session over; whatever is still speculatively in flight
+                // was never issued.
+                for (_, ticket) in in_flight.drain(..) {
+                    pipe.forget(ticket);
+                    pstats.discarded += 1;
+                }
+            },
+        );
+
+        if report.steps.len() + failed_attempts >= self.budget
+            && ins.counts.budget_exhausted == 0
+        {
+            ins.emit(CrawlEvent::BudgetExhausted);
+        }
+        report.selection = source.selection_stats();
+        report.timing = timing;
+        report.events = ins.counts;
+        report.pipeline = Some(pstats);
         if let (Some(start), Some(end)) = (cache_at_start, iface.cache_stats()) {
             report.cache = Some(end.since(&start));
         }
@@ -353,6 +655,20 @@ impl QuerySource for EngineSource<'_> {
         Some(self.engine.render(qid))
     }
 
+    fn next_queries(&mut self, _issued: usize, m: usize) -> Vec<Vec<String>> {
+        if self.engine.live_count() == 0 {
+            return Vec::new();
+        }
+        // A real top-m peek: the engine pops (recomputing stale
+        // priorities), remembers, and restores — the next `next_query`
+        // sees an untouched pool, so hints are forecasts, not claims.
+        self.engine
+            .peek_top(m)
+            .into_iter()
+            .map(|qid| self.engine.render(qid))
+            .collect()
+    }
+
     fn observe(&mut self, _keywords: &[String], page: &SearchPage, _k: usize) -> Observation {
         // lint:allow(panic-freedom) CrawlSession only calls observe after next_query set `pending`
         let qid = self.pending.take().expect("observe must follow next_query");
@@ -408,6 +724,10 @@ mod tests {
     impl QuerySource for RepeatSource {
         fn next_query(&mut self, _issued: usize) -> Option<Vec<String>> {
             Some(vec![self.word.clone()])
+        }
+
+        fn next_queries(&mut self, _issued: usize, m: usize) -> Vec<Vec<String>> {
+            vec![vec![self.word.clone()]; m.min(1)]
         }
 
         fn observe(&mut self, _k: &[String], _p: &SearchPage, _kk: usize) -> Observation {
@@ -517,6 +837,61 @@ mod tests {
         assert_eq!(report.cache, None);
         assert_eq!(report.events.cache_hits, 0);
         assert_eq!(report.events.cache_misses, 0);
+    }
+
+    #[test]
+    fn pipelined_run_matches_sequential_and_reports_speculation() {
+        let db = tiny_db();
+        let run = |depth: usize| {
+            smartcrawl_par::with_pipeline_depth(depth, || {
+                let mut iface = Metered::new(&db, None);
+                let mut source = RepeatSource::new("house");
+                CrawlSession::new(6).run(&mut source, &mut iface, &mut NullObserver)
+            })
+        };
+        let sequential = run(1);
+        assert!(sequential.pipeline.is_none(), "depth 1 is the sequential driver");
+        for depth in [2, 4, 8] {
+            let piped = run(depth);
+            let steps = |r: &CrawlReport| {
+                r.steps
+                    .iter()
+                    .map(|s| (s.keywords.clone(), s.returned.clone(), s.full_page))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(steps(&sequential), steps(&piped), "depth {depth}");
+            assert_eq!(sequential.events, piped.events, "depth {depth}");
+            let p = piped.pipeline.expect("pipelined run reports speculation");
+            assert_eq!(p.depth, depth);
+            assert!(p.prefetch_hits > 0, "the repeating hint must land");
+            assert_eq!(p.mispredicts, 0, "the forecast never changes");
+        }
+    }
+
+    #[test]
+    fn pipelined_run_without_a_prefetch_handle_stays_sequential() {
+        // AlwaysTransient (no prefetch_handle override) severs the tunnel:
+        // the session must fall back to the sequential driver.
+        struct Opaque<I>(I);
+        impl<I: SearchInterface> SearchInterface for Opaque<I> {
+            fn k(&self) -> usize {
+                self.0.k()
+            }
+            fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+                self.0.search(keywords)
+            }
+            fn queries_issued(&self) -> usize {
+                self.0.queries_issued()
+            }
+        }
+        let db = tiny_db();
+        let report = smartcrawl_par::with_pipeline_depth(4, || {
+            let mut iface = Opaque(Metered::new(&db, None));
+            let mut source = RepeatSource::new("house");
+            CrawlSession::new(4).run(&mut source, &mut iface, &mut NullObserver)
+        });
+        assert_eq!(report.queries_issued(), 4);
+        assert!(report.pipeline.is_none(), "no handle, no pipelined driver");
     }
 
     #[test]

@@ -118,6 +118,10 @@ pub(crate) struct Engine<'a> {
     match_memo: Vec<Option<Box<[u32]>>>,
     /// Reusable buffers for batched forward-index removal.
     removal_scratch: RemovalScratch,
+    /// Reusable newly-dead-record buffer for [`Engine::remove_records`]:
+    /// one allocation for the whole crawl instead of one per absorbed
+    /// page (the removal path runs once per issued query).
+    removal_rids: Vec<RecordId>,
     /// QSel-Ideal's free evaluation access.
     oracle: Option<&'a HiddenDb>,
     /// Work counters (Appendix B instrumentation).
@@ -212,6 +216,7 @@ impl<'a> Engine<'a> {
             cover_queries: vec![Vec::new(); n_local],
             match_memo: Vec::new(),
             removal_scratch: RemovalScratch::default(),
+            removal_rids: Vec::new(),
             oracle,
             stats: SelectionStats::default(),
             ctx,
@@ -250,6 +255,39 @@ impl<'a> Engine<'a> {
             }
             return Some((qid, prio));
         }
+    }
+
+    /// Peeks the next up-to-`m` queries [`Engine::select_next`] would
+    /// issue, best first, without consuming them — the batch-selection
+    /// hook behind [`QuerySource::next_queries`].
+    ///
+    /// Pops through a *clone* of the lazy queue, leaving the authoritative
+    /// queue's stored priorities and staleness stamps byte-identical to a
+    /// peek-free run. The obvious cheaper scheme — pop from the real queue
+    /// and push everything back at its recomputed priority — is unsound
+    /// for QSel-Est: a benefit can *rise* when a matched record is removed
+    /// (`matched_cnt` drops while `freq` holds), and with rising
+    /// priorities the pop order depends on *when* dirty entries are
+    /// refreshed, because a dirty entry surfaces for recompute exactly
+    /// when its stale stored priority is the heap maximum. Refreshing at
+    /// peek time would store the lower current value, delay the entry's
+    /// next surfacing, and reorder later pops relative to the sequential
+    /// driver. The clone costs O(|Q|) per peek, on the driver thread only.
+    pub(crate) fn peek_top(&mut self, m: usize) -> Vec<QueryId> {
+        let mut hints = Vec::with_capacity(m);
+        let mut queue = self.queue.clone();
+        while hints.len() < m {
+            let next = queue.pop_max(|q| {
+                self.stats.stale_recomputes += 1;
+                self.priority(q)
+            });
+            let Some((qid, prio)) = next else { break };
+            if prio <= 0.0 && !self.strategy.issues_zero_benefit() {
+                continue; // select_next would skip it; not a hint
+            }
+            hints.push(qid);
+        }
+        hints
     }
 
     /// Returns a popped query to the pool at its current priority — used
@@ -500,6 +538,9 @@ impl<'a> Engine<'a> {
     /// delta and one queue invalidation. Returns how many records were
     /// actually removed (already-dead records are skipped).
     fn remove_records(&mut self, records: &[usize]) -> usize {
+        if records.is_empty() {
+            return 0; // most pages remove nothing; skip the batch walk
+        }
         let Self {
             live,
             live_count,
@@ -512,10 +553,12 @@ impl<'a> Engine<'a> {
             sample_match,
             stats,
             removal_scratch,
+            removal_rids,
             ..
         } = &mut *self;
         let mut removed = 0usize;
-        let mut rids: Vec<RecordId> = Vec::with_capacity(records.len());
+        let rids = removal_rids;
+        rids.clear();
         for &d in records {
             if !live[d] {
                 continue;
@@ -534,7 +577,7 @@ impl<'a> Engine<'a> {
         }
         stats.forward_touches += smartcrawl_index::remove_records_batch(
             forward,
-            &rids,
+            rids,
             |rid| sample_match[rid.index()],
             removal_scratch,
             |q, count, weighted| {

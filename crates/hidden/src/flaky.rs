@@ -8,6 +8,17 @@
 //! a seeded generator, so robustness ablations are reproducible and every
 //! crawler can be tested under the same failure trace.
 //!
+//! Fault decisions are keyed, not sequenced: each draw is a stateless
+//! hash of `(seed, query index, attempt)`, where the query index comes
+//! from the driver via [`SearchInterface::begin_query`] and the attempt
+//! counter distinguishes retries of the same query. An injected failure
+//! therefore belongs to *the query*, independent of when its call
+//! happens — the property that keeps failure traces byte-identical
+//! between the sequential and pipelined crawl drivers, whatever order
+//! in-flight pages complete in. Callers that never call `begin_query`
+//! fall back to an auto-incrementing index (one per search call), which
+//! is the old call-order behaviour.
+//!
 //! Failures are injected *before* the inner interface is consulted: a
 //! failed attempt neither consumes the inner [`Metered`](crate::Metered)
 //! budget nor appears in its audit log — exactly like a request that never
@@ -33,7 +44,13 @@ pub struct FlakyInterface<I> {
     inner: I,
     transient_rate: f64,
     rate_limit_every: Option<usize>,
-    state: u64,
+    seed: u64,
+    /// The in-progress query: `(index, next attempt)`. Set by
+    /// [`SearchInterface::begin_query`]; each draw consumes one attempt.
+    current: Option<(usize, u32)>,
+    /// Fallback index for callers that never call `begin_query`: each
+    /// call is its own query, first attempt.
+    auto_index: usize,
     served: usize,
     transient_failures: usize,
     rate_limit_failures: usize,
@@ -41,14 +58,16 @@ pub struct FlakyInterface<I> {
 
 impl<I: SearchInterface> FlakyInterface<I> {
     /// Wraps `inner`; each search fails transiently with probability
-    /// `transient_rate` (clamped to `[0, 1]`), deterministically per seed.
+    /// `transient_rate` (clamped to `[0, 1]`), deterministically per
+    /// `(seed, query index, attempt)`.
     pub fn new(inner: I, transient_rate: f64, seed: u64) -> Self {
         Self {
             inner,
             transient_rate: transient_rate.clamp(0.0, 1.0),
             rate_limit_every: None,
-            // Avoid the all-zeros weak state without perturbing other seeds.
-            state: seed ^ 0x6A09_E667_F3BC_C909,
+            seed,
+            current: None,
+            auto_index: 0,
             served: 0,
             transient_failures: 0,
             rate_limit_failures: 0,
@@ -88,15 +107,39 @@ impl<I: SearchInterface> FlakyInterface<I> {
     pub fn into_inner(self) -> I {
         self.inner
     }
-}
 
-impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
-    fn k(&self) -> usize {
-        self.inner.k()
+    /// A uniform draw in `[0, 1]` keyed by `(seed, query index, attempt)`.
+    /// Stateless per key: reordering the *calls* cannot move a failure
+    /// from one query to another.
+    fn fault_draw(&mut self) -> f64 {
+        let (index, attempt) = match &mut self.current {
+            Some((index, attempt)) => {
+                let key = (*index, *attempt);
+                *attempt += 1;
+                key
+            }
+            None => {
+                let index = self.auto_index;
+                self.auto_index += 1;
+                (index, 0)
+            }
+        };
+        // Avoid the all-zeros weak state without perturbing other seeds;
+        // the odd multipliers spread index/attempt across the word before
+        // SplitMix64's finalizer mixes them.
+        let mut state = self.seed
+            ^ 0x6A09_E667_F3BC_C909
+            ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        splitmix64(&mut state) as f64 / u64::MAX as f64
     }
 
-    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
-        let draw = splitmix64(&mut self.state) as f64 / u64::MAX as f64;
+    /// The fault gate shared by `search` and `commit_prefetched`: one
+    /// keyed draw, then the served-count throttle. Both entry points burn
+    /// exactly the same draws and counters, so a pipelined commit is
+    /// indistinguishable from the search it replaces.
+    fn inject_fault(&mut self) -> Result<(), SearchError> {
+        let draw = self.fault_draw();
         if draw < self.transient_rate {
             self.transient_failures += 1;
             return Err(SearchError::Transient);
@@ -109,6 +152,17 @@ impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
             }
         }
         self.served += 1;
+        Ok(())
+    }
+}
+
+impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+        self.inject_fault()?;
         self.inner.search(keywords)
     }
 
@@ -132,6 +186,27 @@ impl<I: SearchInterface> SearchInterface for FlakyInterface<I> {
         // (the request never goes out); pass the notification inward so a
         // wrapped meter can audit/charge it.
         self.inner.record_cache_hit(keywords, results, charge)
+    }
+
+    fn begin_query(&mut self, index: usize) {
+        self.current = Some((index, 0));
+        self.inner.begin_query(index);
+    }
+
+    fn prefetch_handle<'h>(&self) -> Option<&'h crate::engine::HiddenDb>
+    where
+        Self: 'h,
+    {
+        self.inner.prefetch_handle()
+    }
+
+    fn commit_prefetched(
+        &mut self,
+        keywords: &[String],
+        prefetched: &SearchPage,
+    ) -> Result<SearchPage, SearchError> {
+        self.inject_fault()?;
+        self.inner.commit_prefetched(keywords, prefetched)
     }
 }
 
@@ -210,5 +285,88 @@ mod tests {
             (0..9).map(|_| f.search(&["house".into()]).is_ok()).collect();
         assert_eq!(results, vec![true, true, false, true, true, false, true, true, false]);
         assert_eq!(f.rate_limit_failures(), 3);
+    }
+
+    /// The satellite regression: a fault decision belongs to the query
+    /// *index*, so serving queries in a different order (as a pipelined
+    /// driver's workers may complete them) cannot move a failure from one
+    /// query to another.
+    #[test]
+    fn fault_decisions_key_on_query_index_not_call_order() {
+        let db = tiny_db();
+        let kw = vec!["house".to_string()];
+        // Find a seed whose 8-query trace is mixed, so the assertion
+        // below distinguishes per-index keying from "always fails".
+        let outcome_by_index = |seed: u64, order: &[usize]| -> Vec<(usize, bool)> {
+            let mut f = FlakyInterface::new(&db, 0.5, seed);
+            let mut out: Vec<(usize, bool)> = order
+                .iter()
+                .map(|&i| {
+                    f.begin_query(i);
+                    (i, f.search(&kw).is_ok())
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let forward: Vec<usize> = (0..8).collect();
+        let shuffled = [5usize, 0, 7, 2, 6, 1, 3, 4];
+        let mut checked_mixed = false;
+        for seed in [3u64, 11, 29] {
+            let a = outcome_by_index(seed, &forward);
+            let b = outcome_by_index(seed, &shuffled);
+            assert_eq!(a, b, "seed {seed}: per-index outcomes moved with call order");
+            checked_mixed |= a.iter().any(|(_, ok)| *ok) && a.iter().any(|(_, ok)| !*ok);
+        }
+        assert!(checked_mixed, "every trace degenerate — assertions prove nothing");
+    }
+
+    /// Retries of one query draw distinct attempts, deterministically:
+    /// re-running the same (index, attempt) schedule reproduces the same
+    /// outcomes, and the attempt axis actually varies the draw.
+    #[test]
+    fn retry_attempts_draw_distinct_deterministic_faults() {
+        let db = tiny_db();
+        let kw = vec!["house".to_string()];
+        let attempts = |seed: u64| -> Vec<bool> {
+            let mut f = FlakyInterface::new(&db, 0.5, seed);
+            f.begin_query(0);
+            (0..16).map(|_| f.search(&kw).is_ok()).collect()
+        };
+        for seed in 0..20u64 {
+            assert_eq!(attempts(seed), attempts(seed));
+        }
+        // Across seeds, some schedule mixes successes and failures — the
+        // attempt counter is reaching the draw.
+        assert!(
+            (0..20u64).any(|s| {
+                let t = attempts(s);
+                t.iter().any(|ok| *ok) && t.iter().any(|ok| !*ok)
+            }),
+            "attempt axis never varied a draw"
+        );
+    }
+
+    /// `commit_prefetched` burns exactly the draws and throttle slots
+    /// `search` would: a run that commits prefetched pages sees the same
+    /// failure trace as one that searches.
+    #[test]
+    fn commit_prefetched_replays_the_search_fault_trace() {
+        let db = tiny_db();
+        let kw = vec!["house".to_string()];
+        let page = SearchPage { records: HiddenDb::search(&db, &kw) };
+        let mut searched = FlakyInterface::new(&db, 0.4, 17).with_rate_limit_every(4);
+        let mut committed = FlakyInterface::new(&db, 0.4, 17).with_rate_limit_every(4);
+        for i in 0..24 {
+            searched.begin_query(i);
+            committed.begin_query(i);
+            assert_eq!(
+                searched.search(&kw),
+                committed.commit_prefetched(&kw, &page),
+                "query {i} diverged"
+            );
+        }
+        assert_eq!(searched.transient_failures(), committed.transient_failures());
+        assert_eq!(searched.rate_limit_failures(), committed.rate_limit_failures());
     }
 }

@@ -214,6 +214,61 @@ pub trait SearchInterface {
         let _ = (keywords, results, charge);
         Ok(())
     }
+
+    /// Notification from the crawl driver that the query about to be
+    /// issued is the `index`-th of its session (0-based, counting issued
+    /// queries — retries of the same query share its index).
+    ///
+    /// The default is a no-op. [`crate::FlakyInterface`] keys its fault
+    /// decisions on this index so an injected failure belongs to *the
+    /// query*, not to whichever call happened to arrive when — the
+    /// property that lets a pipelined driver compute pages out of order
+    /// yet commit a byte-identical failure trace. Wrappers delegate
+    /// inward.
+    fn begin_query(&mut self, index: usize) {
+        let _ = index;
+    }
+
+    /// The side-effect-free search engine at the bottom of this interface
+    /// stack, if one is reachable: a pipelined driver's workers call
+    /// [`HiddenDb::search`] on it directly, bypassing every stateful
+    /// wrapper (budget, faults, cache), and the driver replays the
+    /// accounting at commit time via
+    /// [`commit_prefetched`](SearchInterface::commit_prefetched).
+    ///
+    /// The `'h` lifetime is deliberately *not* tied to `&self`: an
+    /// implementation can only return `Some` if it genuinely holds a
+    /// `&'h HiddenDb` (the borrow checker enforces it), and the caller
+    /// gets a handle it can use while still mutating the interface.
+    /// `None` (the default) means prefetching is unavailable and drivers
+    /// must stay sequential.
+    fn prefetch_handle<'h>(&self) -> Option<&'h HiddenDb>
+    where
+        Self: 'h,
+    {
+        None
+    }
+
+    /// Commits a page a pipeline worker prefetched for `keywords`: runs
+    /// exactly the accounting [`search`](SearchInterface::search) would
+    /// have run — budget checks and charges, fault draws, cache hit/miss
+    /// bookkeeping, audit logging — but reuses `prefetched` instead of
+    /// recomputing the page at the bottom of the stack.
+    ///
+    /// Contract: for a deterministic engine, `commit_prefetched(kw, page)`
+    /// where `page` is what the engine returns for `kw` must be
+    /// observably identical to `search(kw)` — same result, same error,
+    /// same state transitions. The default falls back to a plain
+    /// `search`, which trivially satisfies the contract (the prefetched
+    /// page is discarded as wasted speculation).
+    fn commit_prefetched(
+        &mut self,
+        keywords: &[String],
+        prefetched: &SearchPage,
+    ) -> Result<SearchPage, SearchError> {
+        let _ = prefetched;
+        self.search(keywords)
+    }
 }
 
 impl SearchInterface for &HiddenDb {
@@ -227,6 +282,29 @@ impl SearchInterface for &HiddenDb {
 
     fn queries_issued(&self) -> usize {
         0 // the bare engine does not meter; wrap it in `Metered`
+    }
+
+    fn prefetch_handle<'h>(&self) -> Option<&'h HiddenDb>
+    where
+        Self: 'h,
+    {
+        Some(self)
+    }
+
+    fn commit_prefetched(
+        &mut self,
+        keywords: &[String],
+        prefetched: &SearchPage,
+    ) -> Result<SearchPage, SearchError> {
+        // Query processing is deterministic (crate docs), so the
+        // speculative page *is* the page; the recompute-compare below
+        // verifies that for free in every debug/test build.
+        debug_assert_eq!(
+            prefetched.records,
+            HiddenDb::search(self, keywords),
+            "prefetched page diverged from the engine for {keywords:?}"
+        );
+        Ok(prefetched.clone())
     }
 }
 
@@ -312,14 +390,16 @@ impl<I: SearchInterface> Metered<I> {
     pub fn into_inner(self) -> I {
         self.inner
     }
-}
 
-impl<I: SearchInterface> SearchInterface for Metered<I> {
-    fn k(&self) -> usize {
-        self.inner.k()
-    }
-
-    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+    /// The budget-check / charge / audit-log protocol shared by
+    /// [`Metered::search`] and [`Metered::commit_prefetched`]: only the
+    /// inner call differs, so committing a prefetched page is accounted
+    /// exactly like the search it replaces.
+    fn serve(
+        &mut self,
+        keywords: &[String],
+        run: impl FnOnce(&mut I) -> Result<SearchPage, SearchError>,
+    ) -> Result<SearchPage, SearchError> {
         if let Some(limit) = self.limit {
             if self.used >= limit {
                 if self.keep_log {
@@ -333,7 +413,7 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
                 return Err(SearchError::BudgetExhausted);
             }
         }
-        let result = self.inner.search(keywords);
+        let result = run(&mut self.inner);
         // Only served calls consume budget: an inner failure (transient,
         // throttled) never reached the backend's billing, mirroring how
         // `FlakyInterface` outside a meter behaves. This keeps the audit
@@ -351,6 +431,16 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
         }
         result
     }
+}
+
+impl<I: SearchInterface> SearchInterface for Metered<I> {
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn search(&mut self, keywords: &[String]) -> Result<SearchPage, SearchError> {
+        self.serve(keywords, |inner| inner.search(keywords))
+    }
 
     fn queries_issued(&self) -> usize {
         self.used
@@ -358,6 +448,25 @@ impl<I: SearchInterface> SearchInterface for Metered<I> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         self.inner.cache_stats()
+    }
+
+    fn begin_query(&mut self, index: usize) {
+        self.inner.begin_query(index);
+    }
+
+    fn prefetch_handle<'h>(&self) -> Option<&'h HiddenDb>
+    where
+        Self: 'h,
+    {
+        self.inner.prefetch_handle()
+    }
+
+    fn commit_prefetched(
+        &mut self,
+        keywords: &[String],
+        prefetched: &SearchPage,
+    ) -> Result<SearchPage, SearchError> {
+        self.serve(keywords, |inner| inner.commit_prefetched(keywords, prefetched))
     }
 
     fn record_cache_hit(
@@ -593,5 +702,41 @@ mod tests {
         assert!(full.is_full(db.k()));
         let solid = m.search(&["thai".into()]).unwrap();
         assert!(!solid.is_full(db.k()));
+    }
+
+    #[test]
+    fn prefetch_handle_reaches_through_the_metered_stack() {
+        let db = tiny_db();
+        let m = Metered::new(&db, Some(5));
+        let handle = m.prefetch_handle().expect("engine-backed stack prefetches");
+        // The handle is the raw engine: pure, unmetered reads.
+        assert_eq!(handle.k(), db.k());
+        assert!(!handle.search(&["house".into()]).is_empty());
+        assert_eq!(m.queries_issued(), 0, "prefetch reads bypass the meter");
+        // A stack with no engine at the bottom has no handle.
+        assert!(Metered::new(AlwaysTransient, None).prefetch_handle().is_none());
+    }
+
+    #[test]
+    fn commit_prefetched_is_accounted_exactly_like_search() {
+        let db = tiny_db();
+        let kw = vec!["house".to_string()];
+        let mut seq = Metered::new(&db, Some(2)).with_log();
+        let expect = seq.search(&kw).unwrap();
+
+        let mut pipe = Metered::new(&db, Some(2)).with_log();
+        let prefetched = SearchPage { records: HiddenDb::search(&db, &kw) };
+        let got = pipe.commit_prefetched(&kw, &prefetched).unwrap();
+        assert_eq!(got, expect, "committed page equals the searched page");
+        assert_eq!(pipe.queries_issued(), 1, "commits consume budget");
+        assert_eq!(pipe.log(), seq.log(), "audit log is identical");
+
+        // And the budget gate rejects commits like searches.
+        pipe.commit_prefetched(&kw, &prefetched).unwrap();
+        assert_eq!(
+            pipe.commit_prefetched(&kw, &prefetched),
+            Err(SearchError::BudgetExhausted)
+        );
+        assert_eq!(pipe.queries_issued(), 2);
     }
 }

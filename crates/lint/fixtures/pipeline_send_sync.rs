@@ -1,0 +1,57 @@
+//! send-sync-boundary fixture for the pipelined crawl driver: functions
+//! that enter the prefetch pipeline (`run_pipeline`) while thread-hostile
+//! capture types are in scope. The job closure executes on prefetch
+//! worker threads, so the same capture discipline as `par_map` applies.
+//! Never compiled — linted as `crates/core/src/crawl/session.rs`.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+fn rc_crosses_the_pipeline(db: &HiddenDb, depth: usize) {
+    let cache = Rc::new(Vec::<SearchPage>::new()); // VIOLATION: Rc
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| drive(handle, &cache),
+    );
+}
+
+fn cell_counts_prefetches(db: &HiddenDb, depth: usize) {
+    let hits = Cell::new(0u64); // VIOLATION: Cell
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| hits.set(hits.get() + drive(handle)),
+    );
+}
+
+fn refcell_accumulates_pages(db: &HiddenDb, depth: usize) {
+    let pages = RefCell::new(Vec::new()); // VIOLATION: RefCell
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| pages.borrow_mut().push(drive(handle)),
+    );
+}
+
+// ---- decoys: none of these may fire --------------------------------------
+
+fn rc_without_pipeline_entry(db: &HiddenDb) -> usize {
+    // Same Rc, but nothing in this fn crosses the runtime.
+    let lone = Rc::new(db.k());
+    *lone
+}
+
+fn pipeline_with_clean_captures(db: &HiddenDb, depth: usize) {
+    // Shared state crosses as & only: exactly what the rule demands.
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| drive(handle),
+    );
+}
+
+fn string_decoy() -> &'static str {
+    // Type names inside strings are invisible to the lexer's code stream.
+    "Rc<RefCell<Cell>> run_pipeline(*mut)"
+}

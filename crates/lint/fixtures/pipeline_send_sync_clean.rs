@@ -1,0 +1,36 @@
+//! send-sync-boundary clean fixture for the pipelined crawl driver: the
+//! same pipeline entry shapes with Send+Sync captures only. Must produce
+//! zero send-sync-boundary findings wherever it is linted.
+
+use std::sync::Arc;
+
+fn borrowed_db_crosses_the_pipeline(db: &HiddenDb, depth: usize) {
+    // The real driver's shape: the job borrows the pure hidden database,
+    // the drive closure owns all mutable state on the driver thread.
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| drive(handle),
+    );
+}
+
+fn arc_shared_config_is_fine(db: &HiddenDb, depth: usize, cfg: &Arc<RetryPolicy>) {
+    let cfg = Arc::clone(cfg);
+    run_pipeline(
+        depth,
+        move |keywords: Vec<String>| db.search_with(&keywords, &cfg),
+        |handle| drive(handle),
+    );
+}
+
+fn driver_side_mutation_stays_on_the_driver(db: &HiddenDb, depth: usize) -> Vec<SearchPage> {
+    // A plain Vec mutated only inside the drive closure never leaves the
+    // driver thread — no interior mutability needed.
+    let mut pages = Vec::new();
+    run_pipeline(
+        depth,
+        |keywords: Vec<String>| db.search(&keywords),
+        |handle| pages.push(drive(handle)),
+    );
+    pages
+}

@@ -68,7 +68,14 @@ impl Default for Config {
             io_hygiene_paths: vec!["crates/store/".into()],
             io_writer_paths: vec!["crates/store/src/file.rs".into()],
             hot_alloc_paths: vec!["crates/core/src/select/".into(), "crates/store/src/".into()],
-            par_entry_points: vec!["par_map".into(), "par_map_indexed".into(), "par_chunks".into()],
+            par_entry_points: vec![
+                "par_map".into(),
+                "par_map_indexed".into(),
+                "par_chunks".into(),
+                // The pipelined crawl driver: its job closure runs on
+                // prefetch workers, so captures cross the same boundary.
+                "run_pipeline".into(),
+            ],
             only_rules: None,
         }
     }

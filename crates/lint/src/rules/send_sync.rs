@@ -183,6 +183,24 @@ mod tests {
     }
 
     #[test]
+    fn run_pipeline_is_an_entry_point() {
+        // The pipelined crawl driver's job closure executes on prefetch
+        // workers; thread-hostile captures near its call site are the
+        // same latent race as near a par_map.
+        let src = "fn f(db: &HiddenDb) { let hits = Cell::new(0u32); \
+                   run_pipeline(4, |q: Vec<String>| db.search(&q), |h| { hits.set(1); }); }";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("run_pipeline"));
+    }
+
+    #[test]
+    fn send_safe_pipeline_call_passes() {
+        let src = "fn f(db: &HiddenDb) { run_pipeline(4, |q: Vec<String>| db.search(&q), |h| drive(h)); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
     fn test_code_is_exempt() {
         let src = "#[cfg(test)]\nmod tests { fn f(v: &[u32]) { let s = Rc::new(1); par_map(v, |x| x + *s); } }";
         assert!(diags(src).is_empty());

@@ -227,6 +227,43 @@ fn send_sync_clean_fixture_is_silent() {
 }
 
 #[test]
+fn pipeline_send_sync_fixture_flags_each_hostile_capture() {
+    let (diags, _) =
+        lint_fixture("pipeline_send_sync.rs", "crates/core/src/crawl/session.rs");
+    let lines = lines_of(&diags, "send-sync-boundary");
+    assert_eq!(lines.len(), 3, "Rc, Cell, RefCell near run_pipeline: {diags:?}");
+    let text = fixture("pipeline_send_sync.rs");
+    for needle in [
+        "Rc::new(Vec::<SearchPage>::new())",
+        "Cell::new(0u64)",
+        "RefCell::new(Vec::new())",
+    ] {
+        let line = text
+            .lines()
+            .position(|l| l.contains(needle))
+            .map(|i| i as u32 + 1)
+            .unwrap_or_else(|| panic!("fixture lost its `{needle}` line"));
+        assert!(lines.contains(&line), "`{needle}` at line {line} not flagged: {diags:?}");
+    }
+    for d in diags.iter().filter(|d| d.rule == "send-sync-boundary") {
+        assert!(
+            d.message.contains("run_pipeline"),
+            "finding must name the pipeline entry point: {d:?}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_send_sync_clean_fixture_is_silent() {
+    let (diags, _) =
+        lint_fixture("pipeline_send_sync_clean.rs", "crates/core/src/crawl/session.rs");
+    assert!(
+        lines_of(&diags, "send-sync-boundary").is_empty(),
+        "borrowed-db / Arc / driver-side-Vec shapes must pass: {diags:?}"
+    );
+}
+
+#[test]
 fn layering_fixture_rejects_the_synthetic_back_edge() {
     // The acceptance-criteria case: `index` importing from `core`.
     let (diags, _) = lint_fixture("layering.rs", "crates/index/src/lib.rs");

@@ -30,14 +30,18 @@ impl ThreadBudget {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1);
         let threads = configured.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         });
         Self::fixed(threads)
     }
 
     /// A fixed budget, clamped into `1..=MAX_THREADS`.
     pub fn fixed(threads: usize) -> Self {
-        Self { threads: threads.clamp(1, MAX_THREADS) }
+        Self {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
     }
 
     /// The number of worker threads.

@@ -28,7 +28,11 @@
 //! thread counts inside one process. No RNG, no wall clock, no deps.
 
 pub mod budget;
+pub mod pipeline;
 pub mod runtime;
 
 pub use budget::{current_threads, with_threads, ThreadBudget};
+pub use pipeline::{
+    current_pipeline_depth, run_pipeline, with_pipeline_depth, PipelineHandle, MAX_PIPELINE_DEPTH,
+};
 pub use runtime::{chunk_size_for, par_chunks, par_map, par_map_indexed};

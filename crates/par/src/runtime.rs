@@ -31,12 +31,13 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
 }
 
 /// Maps `f(index, item)` over `items` in parallel; `out[i] == f(i, &items[i])`.
-pub fn par_map_indexed<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(usize, &T) -> U + Sync,
-) -> Vec<U> {
+pub fn par_map_indexed<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &T) -> U + Sync) -> Vec<U> {
     let per_chunk = par_chunks(items, |start, chunk| {
-        chunk.iter().enumerate().map(|(i, item)| f(start + i, item)).collect::<Vec<U>>()
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(start + i, item))
+            .collect::<Vec<U>>()
     });
     let mut out = Vec::with_capacity(items.len());
     for chunk in per_chunk {
@@ -52,10 +53,7 @@ pub fn par_map_indexed<T: Sync, U: Send>(
 /// scratch state: allocate the scratch once per chunk inside `f` and reuse
 /// it across the chunk's items — the chunk boundaries are thread-count
 /// independent, so the scratch's lifecycle is too.
-pub fn par_chunks<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(usize, &[T]) -> U + Sync,
-) -> Vec<U> {
+pub fn par_chunks<T: Sync, U: Send>(items: &[T], f: impl Fn(usize, &[T]) -> U + Sync) -> Vec<U> {
     let len = items.len();
     if len == 0 {
         return Vec::new();
@@ -66,7 +64,11 @@ pub fn par_chunks<T: Sync, U: Send>(
     // Sequential fast path: a budget of one, or a call from inside a
     // worker thread (single-level fan-out — see the crate docs).
     if threads <= 1 || IN_WORKER.with(|w| w.get()) {
-        return items.chunks(chunk_size).enumerate().map(|(ci, c)| f(ci * chunk_size, c)).collect();
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, c)| f(ci * chunk_size, c))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -134,7 +136,10 @@ mod tests {
     #[test]
     fn par_map_matches_sequential_map_at_every_thread_count() {
         let items: Vec<u64> = (0..997).collect();
-        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) >> 3).collect();
+        let expect: Vec<u64> = items
+            .iter()
+            .map(|&x| x.wrapping_mul(2654435761) >> 3)
+            .collect();
         for threads in [1, 2, 3, 8, 64] {
             let got = with_threads(threads, || {
                 par_map(&items, |&x| x.wrapping_mul(2654435761) >> 3)
@@ -186,8 +191,10 @@ mod tests {
                 par_map(&inner, |&y| y + x).iter().sum::<u32>()
             })
         });
-        let expect: Vec<u32> =
-            outer.iter().map(|&x| (0..x % 5).map(|y| y + x).sum::<u32>()).collect();
+        let expect: Vec<u32> = outer
+            .iter()
+            .map(|&x| (0..x % 5).map(|y| y + x).sum::<u32>())
+            .collect();
         assert_eq!(got, expect);
     }
 

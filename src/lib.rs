@@ -45,7 +45,8 @@ pub use smartcrawl_core::{
         populate_crawl_with, smart_crawl, smart_crawl_with, suggest_corrections, Correction,
         CountingObserver, CrawlEvent, CrawlObserver, CrawlReport, CrawlSession, EventCounts,
         EventStamp, IdealCrawlConfig, NullObserver, OnlineCrawlConfig, PhaseTimings,
-        PopulateConfig, PopulateOutcome, QuerySource, SmartCrawlConfig, TraceLog,
+        PipelineStats, PopulateConfig, PopulateOutcome, QuerySource, SmartCrawlConfig,
+        TraceLog,
     },
     Estimator, EstimatorKind, LocalDb, PoolConfig, QueryPool, Strategy, TextContext,
 };

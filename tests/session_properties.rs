@@ -213,11 +213,11 @@ fn crawl_digest(r: &CrawlReport) -> u64 {
 
 /// The hot-path overhaul's contract, pinned as a matrix: for every
 /// approach, the crawl digest is identical across {cache on/off} ×
-/// {1 vs 4 threads} on a clean interface, and across {1 vs 4 threads}
-/// within each flaky stack. The one legitimate divergence — flaky+cached
-/// vs flaky+uncached, where in-run cache hits skip failure-injector RNG
-/// draws — is deliberately NOT pinned (tests/cache_properties.rs guards
-/// its boundary condition instead).
+/// {1 vs 4 threads} × {pipeline depth 1, 2, 8} on a clean interface, and
+/// across the same thread/depth grid within each flaky stack. The one
+/// legitimate divergence — flaky+cached vs flaky+uncached, where in-run
+/// cache hits skip failure-injector draws — is deliberately NOT pinned
+/// (tests/cache_properties.rs guards its boundary condition instead).
 #[test]
 fn crawl_digests_are_invariant_across_cache_flakiness_and_threads() {
     use deeper::{CachePolicy, CachedInterface, QueryCache};
@@ -225,66 +225,81 @@ fn crawl_digests_are_invariant_across_cache_flakiness_and_threads() {
         let s = scenario(seed);
         let budget = 18;
         for (which, name) in APPROACHES.iter().enumerate() {
-            let plain = |threads: usize| {
+            let plain = |threads: usize, depth: usize| {
                 deeper::par::with_threads(threads, || {
-                    let mut iface = Metered::new(&s.hidden, Some(budget));
-                    crawl_digest(&run_approach(
-                        which, &s, budget, seed, &mut iface, RetryPolicy::none(),
-                    ))
+                    deeper::par::with_pipeline_depth(depth, || {
+                        let mut iface = Metered::new(&s.hidden, Some(budget));
+                        crawl_digest(&run_approach(
+                            which, &s, budget, seed, &mut iface, RetryPolicy::none(),
+                        ))
+                    })
                 })
             };
-            let cached = |threads: usize| {
+            let cached = |threads: usize, depth: usize| {
                 deeper::par::with_threads(threads, || {
-                    let mut store = QueryCache::new(CachePolicy::default());
-                    let mut iface = CachedInterface::new(
-                        &mut store,
-                        Metered::new(&s.hidden, Some(budget)),
-                    );
-                    crawl_digest(&run_approach(
-                        which, &s, budget, seed, &mut iface, RetryPolicy::none(),
-                    ))
+                    deeper::par::with_pipeline_depth(depth, || {
+                        let mut store = QueryCache::new(CachePolicy::default());
+                        let mut iface = CachedInterface::new(
+                            &mut store,
+                            Metered::new(&s.hidden, Some(budget)),
+                        );
+                        crawl_digest(&run_approach(
+                            which, &s, budget, seed, &mut iface, RetryPolicy::none(),
+                        ))
+                    })
                 })
             };
-            let reference = plain(1);
-            for (label, digest) in [
-                ("plain @ 4 threads", plain(4)),
-                ("cached @ 1 thread", cached(1)),
-                ("cached @ 4 threads", cached(4)),
-            ] {
-                assert_eq!(
-                    reference, digest,
-                    "{name}: {label} diverged from plain @ 1 thread (seed {seed})"
-                );
+            let reference = plain(1, 1);
+            for depth in [1usize, 2, 8] {
+                for threads in [1usize, 4] {
+                    for (label, digest) in [
+                        ("plain", plain(threads, depth)),
+                        ("cached", cached(threads, depth)),
+                    ] {
+                        assert_eq!(
+                            reference, digest,
+                            "{name}: {label} @ {threads} threads, pipeline depth \
+                             {depth} diverged from plain @ 1 thread (seed {seed})"
+                        );
+                    }
+                }
             }
 
-            let flaky = |threads: usize, with_cache: bool| {
+            let flaky = |threads: usize, with_cache: bool, depth: usize| {
                 deeper::par::with_threads(threads, || {
-                    let inner = FlakyInterface::new(
-                        Metered::new(&s.hidden, Some(budget)),
-                        0.2,
-                        seed ^ 0xBEEF,
-                    );
-                    if with_cache {
-                        let mut store = QueryCache::new(CachePolicy::default());
-                        let mut iface = CachedInterface::new(&mut store, inner);
-                        crawl_digest(&run_approach(
-                            which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
-                        ))
-                    } else {
-                        let mut iface = inner;
-                        crawl_digest(&run_approach(
-                            which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
-                        ))
-                    }
+                    deeper::par::with_pipeline_depth(depth, || {
+                        let inner = FlakyInterface::new(
+                            Metered::new(&s.hidden, Some(budget)),
+                            0.2,
+                            seed ^ 0xBEEF,
+                        );
+                        if with_cache {
+                            let mut store = QueryCache::new(CachePolicy::default());
+                            let mut iface = CachedInterface::new(&mut store, inner);
+                            crawl_digest(&run_approach(
+                                which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
+                            ))
+                        } else {
+                            let mut iface = inner;
+                            crawl_digest(&run_approach(
+                                which, &s, budget, seed, &mut iface, RetryPolicy::standard(),
+                            ))
+                        }
+                    })
                 })
             };
             for with_cache in [false, true] {
-                assert_eq!(
-                    flaky(1, with_cache),
-                    flaky(4, with_cache),
-                    "{name}: flaky (cache: {with_cache}) diverged across thread \
-                     counts (seed {seed})"
-                );
+                let flaky_reference = flaky(1, with_cache, 1);
+                for depth in [1usize, 2, 8] {
+                    for threads in [1usize, 4] {
+                        assert_eq!(
+                            flaky_reference,
+                            flaky(threads, with_cache, depth),
+                            "{name}: flaky (cache: {with_cache}) @ {threads} \
+                             threads, pipeline depth {depth} diverged (seed {seed})"
+                        );
+                    }
+                }
             }
         }
     }
