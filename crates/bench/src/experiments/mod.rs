@@ -17,17 +17,20 @@ use crate::harness::{run_specs, Approach, RunSpec};
 use smartcrawl_data::Scenario;
 use smartcrawl_match::Matcher;
 
-/// Parses the scale factor from CLI args: `--quick` ⇒ 0.1, `--scale X` ⇒
-/// X, default 1.0 (paper scale).
+/// Parses the scale factor from CLI args: `--scale X` ⇒ X, `--quick` ⇒
+/// 0.1, default 1.0 (paper scale). An explicit `--scale` beats `--quick`,
+/// so `--scale 2 --quick` means "2× corpus, but take the quick variant of
+/// everything else the binary trims under `--quick`" (fewer repeats,
+/// shorter sweeps).
 pub fn scale_from_args() -> f64 {
     let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--quick") {
-        return 0.1;
-    }
     if let Some(i) = args.iter().position(|a| a == "--scale") {
         if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) {
             return v;
         }
+    }
+    if args.iter().any(|a| a == "--quick") {
+        return 0.1;
     }
     1.0
 }

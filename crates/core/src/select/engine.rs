@@ -335,9 +335,10 @@ impl<'a> Engine<'a> {
         self.stats.oracle_evals += 1;
         let oracle = self.oracle.expect("ideal strategy has an oracle");
         let keywords = self.pool.render(qid, &self.ctx);
-        let page = oracle.search_refs(&keywords);
+        // lint:allow(budget-safety) QSel-Ideal's oracle evaluates queries for free by definition (§5.2); budgeted issuance happens later in the crawl session
+        let page = oracle.search(&keywords);
         let mut covered: Vec<u32> = Vec::new();
-        for r in page {
+        for r in &page {
             // The oracle cover is over all of `D` (no liveness filter), so
             // the memoized candidate set is usable as-is; repeat
             // appearances of a record skip matching *and* tokenization.

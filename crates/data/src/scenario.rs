@@ -1,6 +1,22 @@
 //! Scenario assembly: turns generated entities into the `(D, H, ground
 //! truth)` triple of one experiment, following the paper's construction
 //! protocol (§7.1.1–§7.1.2).
+//!
+//! Two assembly paths share one deterministic skeleton:
+//!
+//! * [`Scenario::build`] — the original all-in-RAM path: every hidden
+//!   entity is materialized, then loaded into an in-memory [`HiddenDb`].
+//! * [`Scenario::build_with_store`] — the out-of-core path: the long-tail
+//!   ("rest") entities are spilled to a store blob as they stream out of
+//!   the generator, and hidden records are then yielded one at a time, in
+//!   the same shuffled order, straight into the disk-backed [`HiddenDb`]
+//!   builder. Peak memory holds the local pool, the shuffle permutations,
+//!   and the ground-truth id maps — never the full hidden record set.
+//!
+//! Both paths draw from identical RNG streams (`Vec::shuffle` consumes
+//! draws as a function of length only, so shuffling index vectors
+//! reproduces the exact entity permutation), which makes their scenarios —
+//! and every crawl digest downstream — byte-identical.
 
 use crate::businesses::BusinessGen;
 use crate::errors::{inject_errors, perturb_record};
@@ -9,8 +25,11 @@ use crate::EntityId;
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 use smartcrawl_hidden::{ExternalId, HiddenDb, HiddenDbBuilder, HiddenRecord, Ranking, SearchMode};
+use smartcrawl_store::format::{read_varint, write_varint};
+use smartcrawl_store::{expect_store, BlobReader, BlobWriter, Locator, StoreRuntime};
 use smartcrawl_text::Record;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One generated real-world entity, before it is split into local and
 /// hidden representations.
@@ -194,23 +213,44 @@ pub struct Scenario {
     pub config: ScenarioConfig,
 }
 
-impl Scenario {
-    /// Builds a scenario deterministically from its configuration.
-    ///
-    /// # Panics
-    /// Panics if `delta_d > local_size` or `matchable > hidden_size`.
-    pub fn build(config: ScenarioConfig) -> Self {
+/// The domain's entity generator, positioned after the local pool so the
+/// long-tail entities come off it one at a time (`universe(n)` is exactly
+/// `n` sequential `entity()` calls, so streaming draws the identical RNG
+/// sequence).
+#[derive(Debug)]
+enum RestGen {
+    Publications(PublicationGen),
+    Businesses(BusinessGen),
+}
+
+impl RestGen {
+    fn next(&mut self) -> Entity {
+        match self {
+            RestGen::Publications(g) => g.entity(None),
+            RestGen::Businesses(g) => g.entity(),
+        }
+    }
+}
+
+/// Step 1 of the construction protocol: the local pool, eagerly (it is
+/// `|D|`-sized, not `|H|`-sized), plus the generator ready to stream the
+/// remaining `|H| − |D ∩ H|` universe entities.
+struct WorldSeed {
+    local_pool: Vec<Entity>,
+    gen: RestGen,
+    rng: StdRng,
+    matchable: usize,
+    rest_size: usize,
+}
+
+impl WorldSeed {
+    fn generate(config: &ScenarioConfig) -> Self {
         assert!(config.delta_d <= config.local_size, "ΔD cannot exceed |D|");
         let matchable = config.matchable();
         assert!(matchable <= config.hidden_size, "|D ∩ H| cannot exceed |H|");
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD5EE_B00C);
-
-        // 1. Generate the local pool (community subpopulation) and the rest
-        //    of the hidden universe from one generator, so entity ids stay
-        //    unique.
-        let mut community_entities: HashSet<EntityId> = HashSet::new();
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xD5EE_B00C);
         let rest_size = config.hidden_size - matchable;
-        let (local_pool, rest): (Vec<Entity>, Vec<Entity>) = match config.domain {
+        let (local_pool, gen) = match config.domain {
             Domain::Publications => {
                 let mut g = PublicationGen::new(config.seed.wrapping_add(1));
                 let local = if config.recent_local {
@@ -218,105 +258,329 @@ impl Scenario {
                 } else {
                     g.community(config.local_size)
                 };
-                (local, g.universe(rest_size))
+                (local, RestGen::Publications(g))
             }
             Domain::Businesses => {
                 let mut g = BusinessGen::new(config.seed.wrapping_add(1));
-                (g.universe(config.local_size), g.universe(rest_size))
+                (g.universe(config.local_size), RestGen::Businesses(g))
             }
         };
+        Self { local_pool, gen, rng, matchable, rest_size }
+    }
+}
 
+/// Steps 2–3 of the construction protocol as index-space plans: which
+/// local records enter `H`, which matchable copies drift, and the global
+/// shuffle placing every hidden entity at its external id.
+struct HiddenPlan {
+    /// Local shuffle; the first `matchable` entries enter `H`.
+    order: Vec<usize>,
+    /// `perm[ext]` = pre-shuffle slot of the record with external id
+    /// `ext`; slots `< matchable` are local copies, the rest are
+    /// long-tail entities (slot − matchable indexes the generator
+    /// stream).
+    perm: Vec<u32>,
+    /// Drifted field replacements, keyed by pre-shuffle slot.
+    drifted: HashMap<u32, Vec<String>>,
+}
+
+impl HiddenPlan {
+    fn draw(config: &ScenarioConfig, local_pool: &[Entity], rng: &mut StdRng) -> Self {
+        let matchable = config.matchable();
         // 2. Choose which local records are matchable (go into H): shuffle
         //    indices, first `matchable` make the cut; the rest are ΔD.
         let mut order: Vec<usize> = (0..config.local_size).collect();
-        order.shuffle(&mut rng);
-        let matchable_idx: HashSet<usize> = order[..matchable].iter().copied().collect();
+        order.shuffle(rng);
 
-        // 3. Assemble hidden entities: matchable local copies (possibly
-        //    drifted) + the rest of the universe, shuffled.
-        let mut hidden_entities: Vec<Entity> = order[..matchable]
-            .iter()
-            .map(|&i| local_pool[i].clone())
-            .chain(rest)
-            .collect();
+        // 3a. Textual drift on matchable hidden copies, from its own RNG
+        //     stream so drift_pct does not perturb the shuffles.
+        let mut drifted: HashMap<u32, Vec<String>> = HashMap::new();
         if config.drift_pct > 0.0 {
             let drift_n = ((matchable as f64) * config.drift_pct).round() as usize;
             let mut drift_rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
             let chosen = rand::seq::index::sample(&mut drift_rng, matchable, drift_n.min(matchable));
             for i in chosen.iter() {
-                let mut rec = Record::new(hidden_entities[i].fields.clone());
+                let mut rec = Record::new(local_pool[order[i]].fields.clone());
                 if perturb_record(&mut rec, &mut drift_rng).is_some() {
-                    hidden_entities[i].fields = rec.fields().to_vec();
+                    drifted.insert(i as u32, rec.fields().to_vec());
                 }
             }
         }
-        for e in local_pool.iter().chain(&hidden_entities) {
+
+        // 3b. The hidden shuffle, over slots instead of materialized
+        //     entities: shuffling draws from the RNG as a function of
+        //     length only, so this consumes the exact draws the entity
+        //     shuffle used to and lands every record at the same external
+        //     id.
+        let mut perm: Vec<u32> = (0..config.hidden_size as u32).collect();
+        perm.shuffle(rng);
+
+        Self { order, perm, drifted }
+    }
+
+    /// The hidden record with external id `ext`. `fetch_rest` resolves a
+    /// long-tail index to its `(fields, payload, rank_signal)`.
+    fn record_at(
+        &self,
+        ext: usize,
+        matchable: usize,
+        local_pool: &[Entity],
+        fetch_rest: &mut impl FnMut(usize) -> (Vec<String>, Vec<String>, f64),
+    ) -> HiddenRecord {
+        let slot = self.perm[ext] as usize;
+        if slot < matchable {
+            let e = &local_pool[self.order[slot]];
+            let fields = self
+                .drifted
+                .get(&(slot as u32))
+                .cloned()
+                .unwrap_or_else(|| e.fields.clone());
+            HiddenRecord::new(ext as u64, Record::new(fields), e.payload.clone(), e.rank_signal)
+        } else {
+            let (fields, payload, rank_signal) = fetch_rest(slot - matchable);
+            HiddenRecord::new(ext as u64, Record::new(fields), payload, rank_signal)
+        }
+    }
+
+    /// The ground-truth entity behind external id `ext`.
+    fn entity_at(
+        &self,
+        ext: usize,
+        matchable: usize,
+        local_pool: &[Entity],
+        rest_ids: &[EntityId],
+    ) -> EntityId {
+        let slot = self.perm[ext] as usize;
+        if slot < matchable {
+            local_pool[self.order[slot]].id
+        } else {
+            rest_ids[slot - matchable]
+        }
+    }
+}
+
+/// Step 5: local records — every local-pool entity, shuffled, with error
+/// injection applied after the split so hidden copies stay clean (errors
+/// live only in D, as in the paper).
+fn finish_local(
+    config: &ScenarioConfig,
+    local_pool: &[Entity],
+    rng: &mut StdRng,
+) -> (Vec<Record>, Vec<EntityId>) {
+    let mut local_order: Vec<usize> = (0..config.local_size).collect();
+    local_order.shuffle(rng);
+    let mut local: Vec<Record> = Vec::with_capacity(config.local_size);
+    let mut local_entities: Vec<EntityId> = Vec::with_capacity(config.local_size);
+    for &i in &local_order {
+        local.push(Record::new(local_pool[i].fields.clone()));
+        local_entities.push(local_pool[i].id);
+    }
+    if config.error_pct > 0.0 {
+        inject_errors(&mut local, config.error_pct, config.seed.wrapping_add(3));
+    }
+    (local, local_entities)
+}
+
+/// Assembles the evaluation-only ground truth from the id-level plan.
+fn ground_truth(
+    config: &ScenarioConfig,
+    plan: &HiddenPlan,
+    local_pool: &[Entity],
+    rest_ids: &[EntityId],
+    local_entities: Vec<EntityId>,
+    community_entities: HashSet<EntityId>,
+) -> GroundTruth {
+    let matchable = config.matchable();
+    let mut external_entity = HashMap::with_capacity(config.hidden_size);
+    let mut hidden_entities = HashSet::with_capacity(config.hidden_size);
+    for ext in 0..config.hidden_size {
+        let id = plan.entity_at(ext, matchable, local_pool, rest_ids);
+        external_entity.insert(ext as u64, id);
+        hidden_entities.insert(id);
+    }
+    GroundTruth { local_entities, external_entity, hidden_entities, community_entities }
+}
+
+/// Serializes one long-tail entity's record payload for the spill blob
+/// (the entity id travels in RAM — it is ground truth, not record data).
+fn encode_rest_entity(e: &Entity, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&e.rank_signal.to_bits().to_le_bytes());
+    write_varint(out, e.fields.len() as u64);
+    for f in &e.fields {
+        write_varint(out, f.len() as u64);
+        out.extend_from_slice(f.as_bytes());
+    }
+    write_varint(out, e.payload.len() as u64);
+    for p in &e.payload {
+        write_varint(out, p.len() as u64);
+        out.extend_from_slice(p.as_bytes());
+    }
+}
+
+fn decode_cells(buf: &[u8], pos: &mut usize) -> Option<Vec<String>> {
+    let n = usize::try_from(read_varint(buf, pos)?).ok()?;
+    if n > buf.len() {
+        return None;
+    }
+    let mut cells = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = usize::try_from(read_varint(buf, pos)?).ok()?;
+        let bytes = buf.get(*pos..pos.checked_add(len)?)?;
+        *pos += len;
+        cells.push(String::from_utf8(bytes.to_vec()).ok()?);
+    }
+    Some(cells)
+}
+
+fn decode_rest_entity(buf: &[u8]) -> Option<(Vec<String>, Vec<String>, f64)> {
+    let bits = buf.get(0..8)?.try_into().ok().map(u64::from_le_bytes)?;
+    let mut pos = 8usize;
+    let fields = decode_cells(buf, &mut pos)?;
+    let payload = decode_cells(buf, &mut pos)?;
+    (pos == buf.len()).then(|| (fields, payload, f64::from_bits(bits)))
+}
+
+impl Scenario {
+    /// Builds a scenario deterministically from its configuration, with
+    /// the hidden database entirely in RAM.
+    ///
+    /// # Panics
+    /// Panics if `delta_d > local_size` or `matchable > hidden_size`.
+    pub fn build(config: ScenarioConfig) -> Self {
+        let mut world = WorldSeed::generate(&config);
+        let plan = HiddenPlan::draw(&config, &world.local_pool, &mut world.rng);
+        let matchable = world.matchable;
+
+        // Materialize the long tail and collect community flags (the
+        // community set is the local pool plus flagged universe entities).
+        let rest: Vec<Entity> = (0..world.rest_size).map(|_| world.gen.next()).collect();
+        let mut community_entities: HashSet<EntityId> = HashSet::new();
+        for e in world.local_pool.iter().chain(&rest) {
             if e.community {
                 community_entities.insert(e.id);
             }
         }
-        hidden_entities.shuffle(&mut rng);
+        let rest_ids: Vec<EntityId> = rest.iter().map(|e| e.id).collect();
 
         // 4. Build the hidden database; external ids are positions in the
         //    shuffled order — opaque with respect to entity identity.
-        let mut external_entity = HashMap::with_capacity(hidden_entities.len());
-        let mut hidden_entity_set = HashSet::with_capacity(hidden_entities.len());
-        let hidden_records: Vec<HiddenRecord> = hidden_entities
-            .iter()
-            .enumerate()
-            .map(|(ext, e)| {
-                external_entity.insert(ext as u64, e.id);
-                hidden_entity_set.insert(e.id);
-                HiddenRecord::new(
-                    ext as u64,
-                    Record::new(e.fields.clone()),
-                    e.payload.clone(),
-                    e.rank_signal,
-                )
-            })
+        let mut fetch = |j: usize| {
+            let e = &rest[j];
+            (e.fields.clone(), e.payload.clone(), e.rank_signal)
+        };
+        let records: Vec<HiddenRecord> = (0..config.hidden_size)
+            .map(|ext| plan.record_at(ext, matchable, &world.local_pool, &mut fetch))
             .collect();
         let hidden = HiddenDbBuilder::new()
             .k(config.k)
             .ranking(config.ranking)
             .mode(config.mode)
-            .records(hidden_records)
+            .records(records)
             .build();
 
-        // 5. Local records: every local-pool entity, shuffled, with error
-        //    injection applied after the split so hidden copies stay clean
-        //    (errors live only in D, as in the paper).
-        let mut local_order: Vec<usize> = (0..config.local_size).collect();
-        local_order.shuffle(&mut rng);
-        let mut local: Vec<Record> = Vec::with_capacity(config.local_size);
-        let mut local_entities: Vec<EntityId> = Vec::with_capacity(config.local_size);
-        for &i in &local_order {
-            local.push(Record::new(local_pool[i].fields.clone()));
-            local_entities.push(local_pool[i].id);
-        }
-        if config.error_pct > 0.0 {
-            inject_errors(&mut local, config.error_pct, config.seed.wrapping_add(3));
-        }
-
-        // The ΔD accounting must match: matchable locals are exactly those
-        // whose entity entered H.
-        debug_assert_eq!(
-            local_order.iter().filter(|&&i| matchable_idx.contains(&i)).count(),
-            matchable
-        );
-
-        let truth = GroundTruth {
+        let (local, local_entities) = finish_local(&config, &world.local_pool, &mut world.rng);
+        let truth = ground_truth(
+            &config,
+            &plan,
+            &world.local_pool,
+            &rest_ids,
             local_entities,
-            external_entity,
-            hidden_entities: hidden_entity_set,
             community_entities,
-        };
+        );
         Scenario { local, hidden, truth, config }
+    }
+
+    /// Builds the same scenario as [`Scenario::build`] — byte-identical
+    /// local database, ground truth, and query answers — but out-of-core:
+    /// long-tail entities are spilled to a store blob as the generator
+    /// emits them, and hidden records stream one at a time into the
+    /// disk-backed [`HiddenDb`] living on `runtime`. The full hidden
+    /// record set never exists in RAM.
+    ///
+    /// # Panics
+    /// Panics if `delta_d > local_size` or `matchable > hidden_size`, and
+    /// on spill-read failure after the spill file validated (the same
+    /// fatal-by-design policy as every query-time store read).
+    pub fn build_with_store(
+        config: ScenarioConfig,
+        runtime: Arc<StoreRuntime>,
+    ) -> smartcrawl_store::Result<Self> {
+        let mut world = WorldSeed::generate(&config);
+        let plan = HiddenPlan::draw(&config, &world.local_pool, &mut world.rng);
+        let matchable = world.matchable;
+
+        // Stream the long tail straight to disk; only ids, community
+        // flags, and blob locators stay in RAM.
+        let rest_path = runtime.file_path("scenario-rest");
+        let mut writer = BlobWriter::create(&rest_path, runtime.config().page_size)?;
+        let mut rest_locs: Vec<Locator> = Vec::with_capacity(world.rest_size);
+        let mut rest_ids: Vec<EntityId> = Vec::with_capacity(world.rest_size);
+        let mut community_entities: HashSet<EntityId> = HashSet::new();
+        for e in &world.local_pool {
+            if e.community {
+                community_entities.insert(e.id);
+            }
+        }
+        let mut buf = Vec::new();
+        for _ in 0..world.rest_size {
+            let e = world.gen.next();
+            if e.community {
+                community_entities.insert(e.id);
+            }
+            rest_ids.push(e.id);
+            encode_rest_entity(&e, &mut buf);
+            rest_locs.push(writer.append(&buf)?);
+        }
+        writer.finish()?;
+
+        let mut reader = BlobReader::open(
+            &rest_path,
+            (runtime.config().cache_pages / 16).max(2),
+            runtime.shared_stats(),
+        )?;
+        let mut scratch = Vec::new();
+        // The spill was just written and validated on open; a failed read
+        // below is the store vanishing mid-build — fatal by design, like
+        // every query-time read (the streaming iterator has no error
+        // channel).
+        let mut fetch = |j: usize| {
+            expect_store(reader.read(rest_locs[j], &mut scratch), "scenario rest spill read");
+            expect_store(
+                decode_rest_entity(&scratch).ok_or_else(|| smartcrawl_store::StoreError::Corrupt {
+                    path: rest_path.clone(),
+                    detail: "undecodable spilled entity".to_string(),
+                }),
+                "scenario rest spill decode",
+            )
+        };
+        let records = (0..config.hidden_size)
+            .map(|ext| plan.record_at(ext, matchable, &world.local_pool, &mut fetch));
+        let hidden = HiddenDbBuilder::new()
+            .k(config.k)
+            .ranking(config.ranking)
+            .mode(config.mode)
+            .build_streaming(records, Arc::clone(&runtime))?;
+        drop(rest_locs);
+        std::fs::remove_file(&rest_path)?;
+
+        let (local, local_entities) = finish_local(&config, &world.local_pool, &mut world.rng);
+        let truth = ground_truth(
+            &config,
+            &plan,
+            &world.local_pool,
+            &rest_ids,
+            local_entities,
+            community_entities,
+        );
+        Ok(Scenario { local, hidden, truth, config })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrawl_store::StoreConfig;
 
     #[test]
     fn sizes_match_config() {
@@ -443,5 +707,65 @@ mod tests {
         let s = Scenario::build(cfg);
         assert_eq!(s.local.len(), 80);
         assert_eq!(s.hidden.mode(), SearchMode::Disjunctive);
+    }
+
+    fn tiny_runtime() -> Arc<StoreRuntime> {
+        StoreRuntime::create(StoreConfig {
+            page_size: 512,
+            cache_pages: 32,
+            shards: 1,
+            dir: None,
+        })
+        .expect("store runtime")
+    }
+
+    fn assert_worlds_identical(ram: &Scenario, disk: &Scenario) {
+        assert_eq!(ram.local, disk.local, "local database differs");
+        assert_eq!(ram.hidden.len(), disk.hidden.len());
+        let ram_records: Vec<_> = ram
+            .hidden
+            .iter()
+            .map(|r| (r.external_id, r.searchable.fields().to_vec(), r.payload.clone()))
+            .collect();
+        let disk_records: Vec<_> = disk
+            .hidden
+            .iter()
+            .map(|r| (r.external_id, r.searchable.fields().to_vec(), r.payload.clone()))
+            .collect();
+        assert_eq!(ram_records, disk_records, "hidden record stream differs");
+        for ext in 0..ram.hidden.len() as u64 {
+            assert_eq!(
+                ram.truth.entity_of_external(ExternalId(ext)),
+                disk.truth.entity_of_external(ExternalId(ext)),
+                "ground truth differs at {ext}"
+            );
+        }
+        assert_eq!(ram.truth.matchable_count(), disk.truth.matchable_count());
+        assert_eq!(ram.truth.hidden_community_count(), disk.truth.hidden_community_count());
+    }
+
+    #[test]
+    fn streamed_store_scenario_is_byte_identical() {
+        let ram = Scenario::build(ScenarioConfig::tiny(21));
+        let disk =
+            Scenario::build_with_store(ScenarioConfig::tiny(21), tiny_runtime()).expect("stream");
+        assert_worlds_identical(&ram, &disk);
+        assert!(disk.hidden.store_report().is_some());
+    }
+
+    #[test]
+    fn streamed_store_scenario_matches_with_drift_and_errors() {
+        let mut cfg = ScenarioConfig::tiny(22);
+        cfg.drift_pct = 0.4;
+        cfg.error_pct = 0.5;
+        cfg.domain = Domain::Businesses;
+        cfg.mode = SearchMode::Disjunctive;
+        let ram = Scenario::build(cfg.clone());
+        let disk = Scenario::build_with_store(cfg, tiny_runtime()).expect("stream");
+        assert_worlds_identical(&ram, &disk);
+        // Spot-check the interface answers line up too.
+        for q in [vec!["grill".to_string()], vec!["phoenix".to_string(), "cafe".to_string()]] {
+            assert_eq!(ram.hidden.search(&q), disk.hidden.search(&q), "query {q:?}");
+        }
     }
 }

@@ -1,16 +1,28 @@
-//! The in-memory hidden database engine.
+//! The hidden database engine.
 //!
 //! Implements Definition 2 exactly: for a conjunctive query `q`, the engine
 //! computes `q(H)` via its inverted index; if `|q(H)| ≤ k` the full match
 //! set is returned (a *solid* query), otherwise the top-`k` under the
 //! engine's ranking (an *overflowing* query). Query processing is
 //! deterministic.
+//!
+//! The engine fronts one of two backends behind the same API: the original
+//! all-in-RAM implementation, or the out-of-core [`crate::store`] backend
+//! that keeps records and postings in `smartcrawl-store` paged files with
+//! only O(vocabulary) + O(page-cache budget) bytes resident. Both produce
+//! byte-identical pages for every query — the disk backend numbers records
+//! by global rank position so its postings are rank-sorted, and the RAM
+//! path's `rank_pos` sort keys are a permutation (no ties), which makes
+//! both orderings the unique rank order.
 
 use crate::ranking::Ranking;
 use crate::record::{ExternalId, HiddenRecord, Retrieved};
+use crate::store::DiskHidden;
 use smartcrawl_index::InvertedIndex;
+use smartcrawl_store::{StoreReport, StoreRuntime};
 use smartcrawl_text::{Document, RecordId, TokenId, Tokenizer, Vocabulary};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which match semantics the search interface exposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +92,7 @@ impl HiddenDbBuilder {
         self
     }
 
-    /// Builds the engine (tokenizes and indexes every record).
+    /// Builds the all-in-RAM engine (tokenizes and indexes every record).
     pub fn build(self) -> HiddenDb {
         let mut vocab = Vocabulary::new();
         let docs: Vec<Document> = self
@@ -118,17 +130,49 @@ impl HiddenDbBuilder {
             })
             .collect();
         HiddenDb {
-            records: self.records,
-            retrieved,
-            docs,
+            backend: Backend::Ram(RamHidden {
+                records: self.records,
+                retrieved,
+                docs,
+                index,
+                rank_pos,
+                by_external,
+            }),
             vocab,
-            index,
-            rank_pos,
-            by_external,
             tokenizer: self.tokenizer,
             k: self.k,
             mode: self.mode,
         }
+    }
+
+    /// Builds the out-of-core engine: records added so far, chained with
+    /// the (possibly huge) `records` iterator, are streamed straight into
+    /// `runtime`'s on-disk store format without materializing the set in
+    /// RAM. Every query answers byte-identically to [`Self::build`] over
+    /// the same record sequence.
+    pub fn build_streaming<I>(
+        self,
+        records: I,
+        runtime: Arc<StoreRuntime>,
+    ) -> smartcrawl_store::Result<HiddenDb>
+    where
+        I: IntoIterator<Item = HiddenRecord>,
+    {
+        let Self { k, ranking, mode, tokenizer, records: eager } = self;
+        let mut vocab = Vocabulary::new();
+        let disk = DiskHidden::build(
+            eager.into_iter().chain(records),
+            &tokenizer,
+            &mut vocab,
+            ranking,
+            runtime,
+        )?;
+        Ok(HiddenDb { backend: Backend::Disk(Box::new(disk)), vocab, tokenizer, k, mode })
+    }
+
+    /// [`Self::build_streaming`] over just the records added so far.
+    pub fn build_disk(self, runtime: Arc<StoreRuntime>) -> smartcrawl_store::Result<HiddenDb> {
+        self.build_streaming(std::iter::empty(), runtime)
     }
 }
 
@@ -138,18 +182,81 @@ impl Default for HiddenDbBuilder {
     }
 }
 
-/// A simulated hidden database with a top-`k` keyword-search interface.
+/// The record/ranking backend behind the engine API.
 #[derive(Debug)]
-pub struct HiddenDb {
+enum Backend {
+    Ram(RamHidden),
+    Disk(Box<DiskHidden>),
+}
+
+/// The original all-in-RAM backend: dense parallel arrays indexed by the
+/// record ids this engine minted at build time.
+#[derive(Debug)]
+struct RamHidden {
     records: Vec<HiddenRecord>,
-    /// Shared interface views, one per record (see `retrieve`).
+    /// Shared interface views, one per record (see `page_of`).
     retrieved: Vec<Retrieved>,
     docs: Vec<Document>,
-    vocab: Vocabulary,
     index: InvertedIndex,
     /// Record position in the global ranking (lower ranks higher).
     rank_pos: Vec<u32>,
     by_external: HashMap<ExternalId, usize>,
+}
+
+impl RamHidden {
+    /// The conjunctive top-`k` page.
+    fn conjunctive_page(&self, tokens: &[TokenId], k: usize) -> Vec<Retrieved> {
+        self.page_of(self.top_k(self.index.matching(tokens), k))
+    }
+
+    /// `|q(H)|` under conjunctive semantics.
+    fn frequency(&self, tokens: &[TokenId]) -> usize {
+        self.index.frequency(tokens)
+    }
+
+    fn disjunctive_page(&self, tokens: &[TokenId], k: usize) -> Vec<Retrieved> {
+        // Count distinct query tokens per candidate record.
+        let mut hits: HashMap<RecordId, u32> = HashMap::new();
+        for &t in tokens {
+            for &rid in self.index.postings(t) {
+                *hits.entry(rid).or_insert(0) += 1;
+            }
+        }
+        // Yelp-like two-tier ranking (paper §2: records containing all
+        // query keywords rank at the top): full matches first, ordered by
+        // the engine ranking; then partial matches ordered by the engine
+        // ranking alone — real relevance engines rank the partial tail by
+        // popularity signals, not by raw keyword overlap, which is what
+        // buries near-miss records under popular loosely-related ones.
+        let n_query = tokens.len() as u32;
+        let mut scored: Vec<(RecordId, bool)> =
+            hits.into_iter().map(|(rid, m)| (rid, m == n_query)).collect();
+        scored.sort_unstable_by_key(|&(rid, full)| {
+            (std::cmp::Reverse(full), self.rank_pos[rid.index()])
+        });
+        scored.truncate(k);
+        self.page_of(scored.into_iter().map(|(rid, _)| rid).collect())
+    }
+
+    fn top_k(&self, mut matches: Vec<RecordId>, k: usize) -> Vec<RecordId> {
+        if matches.len() > k {
+            matches.select_nth_unstable_by_key(k, |&rid| self.rank_pos[rid.index()]);
+            matches.truncate(k);
+        }
+        matches.sort_unstable_by_key(|&rid| self.rank_pos[rid.index()]);
+        matches
+    }
+
+    fn page_of(&self, ids: Vec<RecordId>) -> Vec<Retrieved> {
+        ids.into_iter().map(|rid| self.retrieved[rid.index()].clone()).collect()
+    }
+}
+
+/// A simulated hidden database with a top-`k` keyword-search interface.
+#[derive(Debug)]
+pub struct HiddenDb {
+    backend: Backend,
+    vocab: Vocabulary,
     tokenizer: Tokenizer,
     k: usize,
     mode: SearchMode,
@@ -164,12 +271,15 @@ impl HiddenDb {
     /// Number of records `|H|` (unknown to crawlers; used by oracles,
     /// samplers with ground truth, and evaluation).
     pub fn len(&self) -> usize {
-        self.records.len()
+        match &self.backend {
+            Backend::Ram(ram) => ram.records.len(),
+            Backend::Disk(disk) => disk.len(),
+        }
     }
 
     /// Whether the database is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
     /// The search mode.
@@ -177,20 +287,59 @@ impl HiddenDb {
         self.mode
     }
 
-    /// Ground-truth record access by external id (evaluation only).
-    pub fn get(&self, id: ExternalId) -> Option<&HiddenRecord> {
-        self.by_external.get(&id).map(|&i| &self.records[i])
+    /// The page-cache report of the disk backend, `None` on the RAM path.
+    pub fn store_report(&self) -> Option<StoreReport> {
+        match &self.backend {
+            Backend::Ram(_) => None,
+            Backend::Disk(disk) => Some(disk.report()),
+        }
     }
 
-    /// Iterates all records (evaluation / oracle sampling only).
-    pub fn iter(&self) -> impl Iterator<Item = &HiddenRecord> {
-        self.records.iter()
+    /// Ground-truth record access by external id (evaluation only).
+    pub fn get(&self, id: ExternalId) -> Option<HiddenRecord> {
+        match &self.backend {
+            Backend::Ram(ram) => ram.by_external.get(&id).map(|&i| ram.records[i].clone()),
+            Backend::Disk(disk) => disk.get(id),
+        }
+    }
+
+    /// Iterates all records in insertion order (evaluation / oracle
+    /// sampling only). On the disk path each record is decoded on demand —
+    /// the set is never materialized.
+    pub fn iter(&self) -> impl Iterator<Item = HiddenRecord> + '_ {
+        (0..self.len()).map(move |i| match &self.backend {
+            Backend::Ram(ram) => ram.records[i].clone(),
+            Backend::Disk(disk) => disk.record_at(i),
+        })
+    }
+
+    /// Streams every record's interface view in insertion order. Samplers
+    /// use this instead of [`Self::iter`] so whole-database sweeps stay
+    /// out-of-core on the disk path (and skip the cell deep-copy on both).
+    pub fn for_each_retrieved(&self, mut f: impl FnMut(Retrieved)) {
+        match &self.backend {
+            Backend::Ram(ram) => {
+                for v in &ram.retrieved {
+                    f(v.clone());
+                }
+            }
+            Backend::Disk(disk) => disk.for_each_retrieved(f),
+        }
     }
 
     /// The indexed document of a record, under the engine's own vocabulary
-    /// (evaluation/diagnostics only).
-    pub fn document_of(&self, id: ExternalId) -> Option<&Document> {
-        self.by_external.get(&id).map(|&i| &self.docs[i])
+    /// (evaluation/diagnostics only). The disk path re-tokenizes the
+    /// record against the frozen vocabulary — identical to the indexed
+    /// document because every token of an indexed record was interned at
+    /// build time.
+    pub fn document_of(&self, id: ExternalId) -> Option<Document> {
+        match &self.backend {
+            Backend::Ram(ram) => ram.by_external.get(&id).map(|&i| ram.docs[i].clone()),
+            Backend::Disk(disk) => {
+                let rec = disk.get(id)?;
+                Some(self.tokenizer.tokenize_known(&rec.searchable.full_text(), &self.vocab))
+            }
+        }
     }
 
     /// Executes a keyword search, returning the top-`k` page.
@@ -199,24 +348,6 @@ impl HiddenDb {
     /// dropped (the paper does not consider them query keywords). A query
     /// whose every keyword is unknown/stopword matches nothing.
     pub fn search(&self, keywords: &[String]) -> Vec<Retrieved> {
-        self.search_ids(keywords).into_iter().map(|rid| self.retrieve(rid)).collect()
-    }
-
-    /// [`HiddenDb::search`] without materializing owned records: the same
-    /// top-`k` page as borrowed views. The QSel-Ideal oracle sits on the
-    /// selection hot path and evaluates tens of thousands of queries whose
-    /// pages are only *read* (to compute covers), so skipping the per-record
-    /// clone is measurable.
-    pub fn search_refs(&self, keywords: &[String]) -> Vec<&Retrieved> {
-        self.search_ids(keywords)
-            .into_iter()
-            // lint:allow(panic-freedom) search_ids yields RecordIds this engine minted over the same arrays
-            .map(|rid| &self.retrieved[rid.index()])
-            .collect()
-    }
-
-    /// The top-`k` page as internal record ids, engine-rank order.
-    fn search_ids(&self, keywords: &[String]) -> Vec<RecordId> {
         match self.mode {
             SearchMode::Conjunctive => {
                 // A keyword outside the vocabulary is contained in no
@@ -227,14 +358,20 @@ impl HiddenDb {
                 if tokens.is_empty() {
                     return Vec::new();
                 }
-                self.top_k(self.index.matching(&tokens))
+                match &self.backend {
+                    Backend::Ram(ram) => ram.conjunctive_page(&tokens, self.k),
+                    Backend::Disk(disk) => disk.conjunctive_page(&tokens, self.k),
+                }
             }
             SearchMode::Disjunctive => {
                 let tokens = self.normalize(keywords);
                 if tokens.is_empty() {
                     return Vec::new();
                 }
-                self.search_disjunctive(&tokens)
+                match &self.backend {
+                    Backend::Ram(ram) => ram.disjunctive_page(&tokens, self.k),
+                    Backend::Disk(disk) => disk.disjunctive_page(&tokens, self.k),
+                }
             }
         }
     }
@@ -243,7 +380,10 @@ impl HiddenDb {
     /// oracle estimators; a real hidden database never reveals this.
     pub fn true_frequency(&self, keywords: &[String]) -> usize {
         match self.normalize_conjunctive(keywords) {
-            Some(tokens) if !tokens.is_empty() => self.index.frequency(&tokens),
+            Some(tokens) if !tokens.is_empty() => match &self.backend {
+                Backend::Ram(ram) => ram.frequency(&tokens),
+                Backend::Disk(disk) => disk.frequency(&tokens),
+            },
             _ => 0,
         }
     }
@@ -286,54 +426,20 @@ impl HiddenDb {
         Some(tokens)
     }
 
-    fn search_disjunctive(&self, tokens: &[TokenId]) -> Vec<RecordId> {
-        // Count distinct query tokens per candidate record.
-        let mut hits: HashMap<RecordId, u32> = HashMap::new();
-        for &t in tokens {
-            for &rid in self.index.postings(t) {
-                *hits.entry(rid).or_insert(0) += 1;
-            }
-        }
-        // Yelp-like two-tier ranking (paper §2: records containing all
-        // query keywords rank at the top): full matches first, ordered by
-        // the engine ranking; then partial matches ordered by the engine
-        // ranking alone — real relevance engines rank the partial tail by
-        // popularity signals, not by raw keyword overlap, which is what
-        // buries near-miss records under popular loosely-related ones.
-        let n_query = tokens.len() as u32;
-        let mut scored: Vec<(RecordId, bool)> =
-            hits.into_iter().map(|(rid, m)| (rid, m == n_query)).collect();
-        scored.sort_unstable_by_key(|&(rid, full)| {
-            (std::cmp::Reverse(full), self.rank_pos[rid.index()])
-        });
-        scored.truncate(self.k);
-        scored.into_iter().map(|(rid, _)| rid).collect()
-    }
-
-    fn top_k(&self, mut matches: Vec<RecordId>) -> Vec<RecordId> {
-        if matches.len() > self.k {
-            let k = self.k;
-            matches.select_nth_unstable_by_key(k, |&rid| self.rank_pos[rid.index()]);
-            matches.truncate(k);
-        }
-        matches.sort_unstable_by_key(|&rid| self.rank_pos[rid.index()]);
-        matches
-    }
-
-    fn retrieve(&self, rid: RecordId) -> Retrieved {
-        self.retrieved[rid.index()].clone()
-    }
-
     /// The shared interface view of a record (samplers use this to build
     /// whole-database samples without re-copying cells).
-    pub fn retrieved_of(&self, id: ExternalId) -> Option<&Retrieved> {
-        self.by_external.get(&id).map(|&i| &self.retrieved[i])
+    pub fn retrieved_of(&self, id: ExternalId) -> Option<Retrieved> {
+        match &self.backend {
+            Backend::Ram(ram) => ram.by_external.get(&id).map(|&i| ram.retrieved[i].clone()),
+            Backend::Disk(disk) => disk.retrieved_of(id),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartcrawl_store::{StoreConfig, StoreRuntime};
     use smartcrawl_text::Record;
 
     fn db(k: usize, names: &[(&str, f64)]) -> HiddenDb {
@@ -475,5 +581,111 @@ mod tests {
         let h = db(10, &[("Thai House", 1.0)]);
         assert!(h.search(&[]).is_empty());
         assert!(h.search(&["the".into()]).is_empty()); // all stopwords
+    }
+
+    fn small_runtime() -> Arc<StoreRuntime> {
+        StoreRuntime::create(StoreConfig {
+            page_size: 256,
+            cache_pages: 16,
+            shards: 1,
+            dir: None,
+        })
+        .expect("store runtime")
+    }
+
+    fn records() -> Vec<HiddenRecord> {
+        let names = [
+            "Thai Noodle House",
+            "Steak House",
+            "Thai Palace",
+            "Ramen Bar downtown",
+            "Noodle World",
+            "Thai House",
+            "House of Ramen",
+            "Golden Noodle Palace",
+        ];
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                HiddenRecord::new(
+                    i as u64,
+                    Record::from([*name]),
+                    vec![format!("p{i}"), format!("q{i}")],
+                    ((i * 37) % 11) as f64,
+                )
+            })
+            .collect()
+    }
+
+    fn queries() -> Vec<Vec<String>> {
+        vec![
+            vec!["house".into()],
+            vec!["thai".into()],
+            vec!["noodle".into(), "thai".into()],
+            vec!["ramen".into()],
+            vec!["palace".into(), "golden".into()],
+            vec!["unknownword".into()],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn disk_backend_matches_ram_conjunctive() {
+        let ram = HiddenDbBuilder::new().k(2).records(records()).build();
+        let disk = HiddenDbBuilder::new()
+            .k(2)
+            .build_streaming(records(), small_runtime())
+            .expect("disk build");
+        for q in queries() {
+            assert_eq!(ram.search(&q), disk.search(&q), "query {q:?}");
+            assert_eq!(ram.true_frequency(&q), disk.true_frequency(&q), "freq {q:?}");
+        }
+    }
+
+    #[test]
+    fn disk_backend_matches_ram_disjunctive() {
+        let ram =
+            HiddenDbBuilder::new().k(3).mode(SearchMode::Disjunctive).records(records()).build();
+        let disk = HiddenDbBuilder::new()
+            .k(3)
+            .mode(SearchMode::Disjunctive)
+            .build_streaming(records(), small_runtime())
+            .expect("disk build");
+        for q in queries() {
+            assert_eq!(ram.search(&q), disk.search(&q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn disk_backend_matches_ram_accessors() {
+        let ram = HiddenDbBuilder::new().k(4).records(records()).build();
+        let disk = HiddenDbBuilder::new()
+            .k(4)
+            .build_streaming(records(), small_runtime())
+            .expect("disk build");
+        assert_eq!(ram.len(), disk.len());
+        for id in (0..records().len() as u64 + 2).map(ExternalId) {
+            let (a, b) = (ram.get(id), disk.get(id));
+            assert_eq!(a.is_some(), b.is_some(), "presence of {id:?}");
+            if let (Some(a), Some(b)) = (&a, &b) {
+                assert_eq!(a.external_id, b.external_id);
+                assert_eq!(a.searchable.fields(), b.searchable.fields());
+                assert_eq!(a.payload, b.payload);
+                assert_eq!(a.rank_signal.to_bits(), b.rank_signal.to_bits());
+            }
+            assert_eq!(ram.retrieved_of(id), disk.retrieved_of(id), "view of {id:?}");
+            assert_eq!(ram.document_of(id), disk.document_of(id), "document of {id:?}");
+        }
+        let ram_iter: Vec<u64> = ram.iter().map(|r| r.external_id.0).collect();
+        let disk_iter: Vec<u64> = disk.iter().map(|r| r.external_id.0).collect();
+        assert_eq!(ram_iter, disk_iter);
+        let mut ram_views = Vec::new();
+        ram.for_each_retrieved(|v| ram_views.push(v));
+        let mut disk_views = Vec::new();
+        disk.for_each_retrieved(|v| disk_views.push(v));
+        assert_eq!(ram_views, disk_views);
+        assert!(ram.store_report().is_none());
+        assert!(disk.store_report().is_some());
     }
 }

@@ -32,6 +32,7 @@ pub mod form;
 pub mod interface;
 pub mod ranking;
 pub mod record;
+mod store;
 
 pub use engine::{HiddenDb, HiddenDbBuilder, SearchMode};
 pub use flaky::FlakyInterface;

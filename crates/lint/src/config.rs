@@ -65,7 +65,14 @@ impl Default for Config {
             ],
             thread_runtime_paths: vec!["crates/par/".into()],
             dense_hot_paths: vec!["crates/core/src/select/".into()],
-            io_hygiene_paths: vec!["crates/store/".into()],
+            io_hygiene_paths: vec![
+                "crates/store/".into(),
+                // The disk-backed HiddenDb speaks the same store format
+                // and inherits the same contract: failures surface as
+                // StoreError, caching runs on the logical tick, and its
+                // files are minted by PagedWriter.
+                "crates/hidden/src/store.rs".into(),
+            ],
             io_writer_paths: vec!["crates/store/src/file.rs".into()],
             hot_alloc_paths: vec!["crates/core/src/select/".into(), "crates/store/src/".into()],
             par_entry_points: vec![

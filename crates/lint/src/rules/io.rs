@@ -1,6 +1,8 @@
 //! `io-hygiene`: the out-of-core store's I/O discipline.
 //!
-//! The paged store (`Config::io_hygiene_paths`, i.e. `crates/store/`) is
+//! The paged store (`Config::io_hygiene_paths`: `crates/store/` plus the
+//! disk-backed hidden module `crates/hidden/src/store.rs`, which speaks
+//! the same format) is
 //! the one subsystem whose failures arrive from outside the process —
 //! disks truncate, bits rot — so its contract is stricter than the
 //! workspace's general panic rule:
@@ -156,6 +158,14 @@ mod tests {
                    let _ = File::open(p)?; fs::create_dir_all(p)?; \
                    fs::remove_dir_all(p) }";
         assert!(diags("crates/store/src/backend.rs", src).is_empty());
+    }
+
+    #[test]
+    fn covers_the_disk_backed_hidden_module() {
+        let src = "fn f() { std::fs::read(p).unwrap(); let t = Instant::now(); }";
+        assert_eq!(diags("crates/hidden/src/store.rs", src).len(), 2);
+        // The rest of the hidden crate stays under the general rules only.
+        assert!(diags("crates/hidden/src/engine.rs", src).is_empty());
     }
 
     #[test]

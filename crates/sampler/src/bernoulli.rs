@@ -8,18 +8,6 @@ use rand::seq::index::sample as index_sample;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use smartcrawl_hidden::{HiddenDb, Retrieved};
 
-fn to_retrieved(db: &HiddenDb) -> impl Iterator<Item = Retrieved> + '_ {
-    // The engine pre-materializes every record's Arc-backed interface view;
-    // cloning it here shares the cell storage instead of re-copying it.
-    db.iter().map(|r| {
-        db.retrieved_of(r.external_id)
-            .cloned()
-            .unwrap_or_else(|| {
-                Retrieved::new(r.external_id, r.searchable.fields().to_vec(), r.payload.clone())
-            })
-    })
-}
-
 /// Includes every hidden record independently with probability `theta`.
 ///
 /// The reported ratio is the *nominal* θ (what a Bernoulli design
@@ -28,9 +16,15 @@ fn to_retrieved(db: &HiddenDb) -> impl Iterator<Item = Retrieved> + '_ {
 pub fn bernoulli_sample(db: &HiddenDb, theta: f64, seed: u64) -> HiddenSample {
     assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
-    let records = to_retrieved(db)
-        .filter(|_| rng.gen_bool(theta))
-        .collect();
+    // One streamed pass over the engine's shared interface views: one
+    // Bernoulli draw per record in insertion order, so the trial sequence
+    // (and thus the sample) is identical on the RAM and disk backends.
+    let mut records: Vec<Retrieved> = Vec::new();
+    db.for_each_retrieved(|v| {
+        if rng.gen_bool(theta) {
+            records.push(v);
+        }
+    });
     HiddenSample { records, theta }
 }
 
@@ -41,10 +35,22 @@ pub fn uniform_sample(db: &HiddenDb, n: usize, seed: u64) -> HiddenSample {
         return HiddenSample { records: Vec::new(), theta: 0.0 };
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let all: Vec<Retrieved> = to_retrieved(db).collect();
-    let mut idx: Vec<usize> = index_sample(&mut rng, all.len(), n).into_vec();
+    // Draw the insertion indices first (needs only |H|), then collect the
+    // chosen records in one streamed pass — never materializing the full
+    // set, which is what keeps oracle sampling out-of-core on the disk
+    // backend.
+    let mut idx: Vec<usize> = index_sample(&mut rng, db.len(), n).into_vec();
     idx.sort_unstable();
-    let records: Vec<Retrieved> = idx.into_iter().map(|i| all[i].clone()).collect();
+    let mut records: Vec<Retrieved> = Vec::with_capacity(n);
+    let mut next = 0usize;
+    let mut pos = 0usize;
+    db.for_each_retrieved(|v| {
+        if idx.get(next) == Some(&pos) {
+            records.push(v);
+            next += 1;
+        }
+        pos += 1;
+    });
     let theta = n as f64 / db.len() as f64;
     HiddenSample { records, theta }
 }

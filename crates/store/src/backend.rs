@@ -92,23 +92,24 @@ impl StoreRuntime {
     }
 
     /// A fresh file path under the runtime's directory.
-    pub(crate) fn file_path(&self, tag: &str) -> PathBuf {
+    pub fn file_path(&self, tag: &str) -> PathBuf {
         let seq = self.file_seq.fetch_add(1, Ordering::Relaxed);
         self.dir.join(format!("{tag}-{seq}.pages"))
     }
 
-    pub(crate) fn shared_stats(&self) -> Arc<SharedStats> {
+    /// The counters every cache created from this runtime feeds into.
+    pub fn shared_stats(&self) -> Arc<SharedStats> {
         Arc::clone(&self.stats)
     }
 
     /// Cache budget of one inverted-index shard: half the total budget
     /// split across shards (the other half goes to the forward index).
-    pub(crate) fn shard_cache_budget(&self) -> usize {
+    pub fn shard_cache_budget(&self) -> usize {
         (self.config.cache_pages / 2 / self.config.shards.max(1)).max(2)
     }
 
     /// Cache budget of the forward index.
-    pub(crate) fn forward_cache_budget(&self) -> usize {
+    pub fn forward_cache_budget(&self) -> usize {
         (self.config.cache_pages / 2).max(2)
     }
 

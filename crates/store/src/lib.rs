@@ -112,8 +112,10 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 /// Unwraps a store result at query time. Build- and open-time validation
 /// returns `Result`; once a store validated, a read failing mid-crawl
 /// means the index vanished under the engine — unrecoverable by design,
-/// so the one panic in this crate lives here.
-pub(crate) fn expect_store<T>(r: Result<T>, what: &str) -> T {
+/// so the one panic in this crate lives here. Public so the disk-backed
+/// hidden engine applies the same policy without minting its own panic
+/// site.
+pub fn expect_store<T>(r: Result<T>, what: &str) -> T {
     match r {
         Ok(v) => v,
         // lint:allow(panic-freedom) a query-time read failure on a validated store is fatal by design
